@@ -1,0 +1,184 @@
+use std::ops::AddAssign;
+
+/// nvprof-equivalent profiling counters, defined exactly as in the paper's
+/// "Metrics" paragraph (Section IV):
+///
+/// * `global_load_requests` — total number of global-memory load
+///   *requests* (one per warp load instruction that has at least one
+///   active lane).
+/// * `warp_execution_efficiency()` — ratio of average active threads per
+///   issued warp instruction to the warp size.
+/// * `gld_transactions_per_request()` — average number of 32-byte-sector
+///   transactions needed to serve one global load request (1 = perfectly
+///   coalesced for 4-byte accesses within a sector-aligned window, up to
+///   32 for fully scattered lanes).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileCounters {
+    pub global_load_requests: u64,
+    /// L1TEX wavefronts: distinct 32-byte sectors addressed per load
+    /// request, summed — counted whether or not the sector hits cache,
+    /// exactly like nvprof's `gld_transactions`.
+    pub gld_transactions: u64,
+    /// Subset of load sectors that actually went to DRAM (cache misses);
+    /// this is what the bandwidth floor consumes.
+    pub dram_load_sectors: u64,
+    pub global_store_requests: u64,
+    pub gst_transactions: u64,
+    pub global_atomic_requests: u64,
+    pub shared_load_requests: u64,
+    pub shared_store_requests: u64,
+    pub shared_atomic_requests: u64,
+    pub compute_slots: u64,
+    /// Total warp instruction slots issued (all kinds).
+    pub issued_slots: u64,
+    /// Sum over issued slots of the number of active lanes.
+    pub active_thread_slots: u64,
+}
+
+impl ProfileCounters {
+    /// Average active threads per warp instruction divided by the warp
+    /// size; `1.0` means no divergence-induced stalls. Returns 1.0 for an
+    /// empty launch so that ratios stay well-defined.
+    pub fn warp_execution_efficiency(&self) -> f64 {
+        if self.issued_slots == 0 {
+            return 1.0;
+        }
+        self.active_thread_slots as f64 / (self.issued_slots as f64 * crate::WARP_SIZE as f64)
+    }
+
+    /// Average 32-byte transactions per global load request; lower is
+    /// better. Returns 0.0 when no loads were issued.
+    pub fn gld_transactions_per_request(&self) -> f64 {
+        if self.global_load_requests == 0 {
+            return 0.0;
+        }
+        self.gld_transactions as f64 / self.global_load_requests as f64
+    }
+
+    /// Average transactions per global store request.
+    pub fn gst_transactions_per_request(&self) -> f64 {
+        if self.global_store_requests == 0 {
+            return 0.0;
+        }
+        self.gst_transactions as f64 / self.global_store_requests as f64
+    }
+
+    /// Total global memory requests of any flavour — a proxy for "total
+    /// amount of work" when comparing algorithms.
+    pub fn total_global_requests(&self) -> u64 {
+        self.global_load_requests + self.global_store_requests + self.global_atomic_requests
+    }
+}
+
+impl AddAssign for ProfileCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.global_load_requests += rhs.global_load_requests;
+        self.gld_transactions += rhs.gld_transactions;
+        self.dram_load_sectors += rhs.dram_load_sectors;
+        self.global_store_requests += rhs.global_store_requests;
+        self.gst_transactions += rhs.gst_transactions;
+        self.global_atomic_requests += rhs.global_atomic_requests;
+        self.shared_load_requests += rhs.shared_load_requests;
+        self.shared_store_requests += rhs.shared_store_requests;
+        self.shared_atomic_requests += rhs.shared_atomic_requests;
+        self.compute_slots += rhs.compute_slots;
+        self.issued_slots += rhs.issued_slots;
+        self.active_thread_slots += rhs.active_thread_slots;
+    }
+}
+
+/// Result of one kernel launch: the modelled kernel time plus the merged
+/// profiling counters of every warp that ran.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LaunchStats {
+    /// Modelled kernel time in device cycles (wave-scheduled across SMs).
+    pub kernel_cycles: u64,
+    /// Sum of per-block cycle counts (total work, ignoring parallelism).
+    pub total_block_cycles: u64,
+    /// Number of blocks that executed.
+    pub blocks: u64,
+    pub counters: ProfileCounters,
+}
+
+impl AddAssign for LaunchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        // Sequential launches: kernel times add up.
+        self.kernel_cycles += rhs.kernel_cycles;
+        self.total_block_cycles += rhs.total_block_cycles;
+        self.blocks += rhs.blocks;
+        self.counters += rhs.counters;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_one_when_empty() {
+        let c = ProfileCounters::default();
+        assert_eq!(c.warp_execution_efficiency(), 1.0);
+        assert_eq!(c.gld_transactions_per_request(), 0.0);
+    }
+
+    #[test]
+    fn efficiency_ratio() {
+        let c = ProfileCounters {
+            issued_slots: 10,
+            active_thread_slots: 160,
+            ..Default::default()
+        };
+        assert!((c.warp_execution_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transactions_per_request() {
+        let c = ProfileCounters {
+            global_load_requests: 4,
+            gld_transactions: 10,
+            ..Default::default()
+        };
+        assert!((c.gld_transactions_per_request() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_merges_all_fields() {
+        let mut a = ProfileCounters {
+            global_load_requests: 1,
+            gld_transactions: 2,
+            dram_load_sectors: 1,
+            global_store_requests: 3,
+            gst_transactions: 4,
+            global_atomic_requests: 5,
+            shared_load_requests: 6,
+            shared_store_requests: 7,
+            shared_atomic_requests: 8,
+            compute_slots: 9,
+            issued_slots: 10,
+            active_thread_slots: 11,
+        };
+        a += a;
+        assert_eq!(a.global_load_requests, 2);
+        assert_eq!(a.active_thread_slots, 22);
+        assert_eq!(a.total_global_requests(), 2 + 6 + 10);
+    }
+
+    #[test]
+    fn launch_stats_accumulate() {
+        let mut s = LaunchStats {
+            kernel_cycles: 100,
+            total_block_cycles: 200,
+            blocks: 2,
+            counters: ProfileCounters::default(),
+        };
+        s += LaunchStats {
+            kernel_cycles: 50,
+            total_block_cycles: 60,
+            blocks: 1,
+            counters: ProfileCounters::default(),
+        };
+        assert_eq!(s.kernel_cycles, 150);
+        assert_eq!(s.total_block_cycles, 260);
+        assert_eq!(s.blocks, 3);
+    }
+}

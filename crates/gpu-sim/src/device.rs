@@ -1,0 +1,222 @@
+use crate::counters::{LaunchStats, ProfileCounters};
+use crate::exec::{run_block, BlockCtx, KernelConfig};
+use crate::mem::DeviceMem;
+use crate::schedule::schedule_blocks;
+use crate::{CostModel, SimError};
+
+use rayon::prelude::*;
+
+/// Static configuration of the simulated GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum resident threads per SM (occupancy limit).
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per block, in 4-byte words.
+    pub shared_mem_words: u32,
+    /// L1 data cache per SM, in 32-byte sectors (V100: 128 KB).
+    pub l1_sectors_per_sm: u32,
+    /// Global memory capacity, in 4-byte words.
+    pub global_mem_words: u64,
+    pub cost: CostModel,
+}
+
+impl DeviceConfig {
+    /// A Tesla V100 scaled for simulation: the paper's card has 80 SMs,
+    /// 48 KB shared memory per block and 16 GB of HBM2. We keep the SM
+    /// and shared-memory geometry exact and scale global memory down by
+    /// the same ~256x factor as the datasets (Table II stand-ins), so the
+    /// algorithms that exhaust a real V100 on the largest graphs exhaust
+    /// the simulated one on the largest stand-ins.
+    pub fn v100() -> Self {
+        DeviceConfig {
+            num_sms: 80,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_words: 48 * 1024 / 4,
+            l1_sectors_per_sm: 128 * 1024 / 32,
+            global_mem_words: 16 * 1024 * 1024, // 64 MiB => 16 GB / 256
+            cost: CostModel::v100(),
+        }
+    }
+
+    /// An RTX 4090 stand-in (144 SMs, 128 KB shared, 24 GB scaled).
+    pub fn rtx4090() -> Self {
+        DeviceConfig {
+            num_sms: 144,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 24,
+            shared_mem_words: 128 * 1024 / 4,
+            l1_sectors_per_sm: 128 * 1024 / 32,
+            global_mem_words: 24 * 1024 * 1024,
+            cost: CostModel::v100(),
+        }
+    }
+}
+
+/// The simulated GPU. Cheap to construct; owns no memory (see
+/// [`DeviceMem`]).
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+}
+
+impl Device {
+    pub fn new(config: DeviceConfig) -> Self {
+        Device { config }
+    }
+
+    /// Simulated Tesla V100 (the paper's primary platform).
+    pub fn v100() -> Self {
+        Device::new(DeviceConfig::v100())
+    }
+
+    /// Simulated RTX 4090.
+    pub fn rtx4090() -> Self {
+        Device::new(DeviceConfig::rtx4090())
+    }
+
+    /// A device with custom global-memory capacity (for tests).
+    pub fn with_memory_words(words: u64) -> Self {
+        let mut cfg = DeviceConfig::v100();
+        cfg.global_mem_words = words;
+        Device::new(cfg)
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// How many blocks of the given configuration can be resident on one
+    /// SM at a time (the CUDA occupancy calculation, simplified to the
+    /// thread, block and shared-memory limits).
+    pub fn resident_blocks_per_sm(&self, cfg: &KernelConfig) -> u32 {
+        let by_threads = self.config.max_threads_per_sm / cfg.block_dim.max(1);
+        let by_shared = if cfg.shared_words == 0 {
+            self.config.max_blocks_per_sm
+        } else {
+            self.config.shared_mem_words / cfg.shared_words
+        };
+        by_threads
+            .min(by_shared)
+            .min(self.config.max_blocks_per_sm)
+            .max(1)
+    }
+
+    /// Launch a kernel: run `cfg.grid_dim` independent blocks (in parallel
+    /// on the host), then wave-schedule their cycle counts across the SMs
+    /// to produce the modelled kernel time.
+    ///
+    /// The kernel closure is invoked once per block with a fresh
+    /// [`BlockCtx`]; it structures the block's work into barrier-separated
+    /// phases via [`BlockCtx::phase`].
+    pub fn launch<F>(
+        &self,
+        mem: &DeviceMem,
+        cfg: KernelConfig,
+        kernel: F,
+    ) -> Result<LaunchStats, SimError>
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        if cfg.block_dim == 0 || cfg.grid_dim == 0 {
+            return Err(SimError::InvalidLaunch(format!(
+                "grid {} x block {} must be non-zero",
+                cfg.grid_dim, cfg.block_dim
+            )));
+        }
+        if cfg.block_dim > 1024 {
+            return Err(SimError::InvalidLaunch(format!(
+                "block dim {} exceeds the 1024-thread limit",
+                cfg.block_dim
+            )));
+        }
+        if cfg.shared_words > self.config.shared_mem_words {
+            return Err(SimError::SharedMemoryExceeded {
+                requested_words: cfg.shared_words,
+                available_words: self.config.shared_mem_words,
+            });
+        }
+
+        // Each block runs independently; fold per-rayon-job partial stats.
+        let results: Result<Vec<(u64, ProfileCounters)>, SimError> = (0..cfg.grid_dim)
+            .into_par_iter()
+            .map(|block_idx| run_block(self, mem, &cfg, block_idx, &kernel))
+            .collect();
+        let per_block = results?;
+
+        let mut counters = ProfileCounters::default();
+        let mut cycles = Vec::with_capacity(per_block.len());
+        for (c, pc) in per_block {
+            cycles.push(c);
+            counters += pc;
+        }
+
+        let parallel_slots = (self.config.num_sms * self.resident_blocks_per_sm(&cfg)) as usize;
+        let compute_cycles = schedule_blocks(&cycles, parallel_slots);
+        // Triangle counting is memory-bound: the kernel can never finish
+        // faster than DRAM can deliver its sector traffic, however much
+        // SM-level parallelism hides latency.
+        let total_sectors = counters.dram_load_sectors
+            + counters.gst_transactions
+            + counters.global_atomic_requests;
+        let bandwidth_cycles =
+            total_sectors / self.config.cost.dram_sectors_per_cycle.max(1);
+        let kernel_cycles = compute_cycles.max(bandwidth_cycles);
+        Ok(LaunchStats {
+            kernel_cycles,
+            total_block_cycles: cycles.iter().sum(),
+            blocks: cfg.grid_dim as u64,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let dev = Device::v100();
+        let cfg = KernelConfig::new(1, 1024);
+        assert_eq!(dev.resident_blocks_per_sm(&cfg), 2);
+    }
+
+    #[test]
+    fn occupancy_limited_by_block_cap() {
+        let dev = Device::v100();
+        let cfg = KernelConfig::new(1, 32);
+        assert_eq!(dev.resident_blocks_per_sm(&cfg), 32);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let dev = Device::v100();
+        // Whole 48 KB per block => 1 resident block.
+        let cfg = KernelConfig::new(1, 64).with_shared_words(48 * 1024 / 4);
+        assert_eq!(dev.resident_blocks_per_sm(&cfg), 1);
+    }
+
+    #[test]
+    fn invalid_launches_rejected() {
+        let dev = Device::v100();
+        let mem = DeviceMem::new(&dev);
+        assert!(matches!(
+            dev.launch(&mem, KernelConfig::new(0, 32), |_| {}),
+            Err(SimError::InvalidLaunch(_))
+        ));
+        assert!(matches!(
+            dev.launch(&mem, KernelConfig::new(1, 2048), |_| {}),
+            Err(SimError::InvalidLaunch(_))
+        ));
+        let huge_shared = KernelConfig::new(1, 32).with_shared_words(1 << 20);
+        assert!(matches!(
+            dev.launch(&mem, huge_shared, |_| {}),
+            Err(SimError::SharedMemoryExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors surfaced by the simulator.
+///
+/// `OutOfMemory` is load-bearing for the reproduction: several of the
+/// published implementations fail on the largest datasets (the red crosses
+/// in Figure 11 of the paper), and they fail here the same way — by asking
+/// the device for more global memory than it has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device-memory allocation exceeded remaining capacity.
+    OutOfMemory {
+        /// Human-readable tag of the buffer that failed to allocate.
+        what: String,
+        /// Words requested by the failing allocation.
+        requested_words: u64,
+        /// Words still available on the device.
+        available_words: u64,
+    },
+    /// A kernel required more shared memory per block than the device has.
+    SharedMemoryExceeded {
+        requested_words: u32,
+        available_words: u32,
+    },
+    /// A kernel was launched with an invalid configuration.
+    InvalidLaunch(String),
+    /// The kernel itself reported a failure (e.g. a hash-table overflow in
+    /// an implementation with fixed-size buckets).
+    KernelFault(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                what,
+                requested_words,
+                available_words,
+            } => write!(
+                f,
+                "device out of memory allocating `{what}`: requested {requested_words} words, \
+                 {available_words} available"
+            ),
+            SimError::SharedMemoryExceeded {
+                requested_words,
+                available_words,
+            } => write!(
+                f,
+                "shared memory exceeded: requested {requested_words} words/block, \
+                 device provides {available_words}"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::KernelFault(msg) => write!(f, "kernel fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,769 @@
+use crate::counters::ProfileCounters;
+use crate::device::Device;
+use crate::mem::{BufId, DeviceMem};
+use crate::trace::{LaneTrace, Op};
+use crate::{CostModel, SimError, SHARED_BANKS, WARP_SIZE};
+
+/// Launch geometry: `grid_dim` blocks of `block_dim` threads, each block
+/// carrying `shared_words` words of shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    pub grid_dim: u32,
+    pub block_dim: u32,
+    pub shared_words: u32,
+}
+
+impl KernelConfig {
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        KernelConfig {
+            grid_dim,
+            block_dim,
+            shared_words: 0,
+        }
+    }
+
+    pub fn with_shared_words(mut self, words: u32) -> Self {
+        self.shared_words = words;
+        self
+    }
+}
+
+/// Per-block execution context handed to the kernel closure.
+///
+/// A kernel structures its work as a sequence of [`BlockCtx::phase`]
+/// calls; each phase runs every lane of the block to completion (in lane
+/// order) and ends with an implicit block-wide barrier, after which the
+/// lane traces are replayed warp-by-warp for profiling and timing.
+pub struct BlockCtx<'a> {
+    mem: &'a DeviceMem,
+    cost: CostModel,
+    block_idx: u32,
+    block_dim: u32,
+    grid_dim: u32,
+    shared: Vec<u32>,
+    traces: Vec<LaneTrace>,
+    /// Race detector (debug builds): which lane plain-stored each shared
+    /// slot in the current phase. A cross-lane read of such a slot before
+    /// the next barrier is a data race in CUDA.
+    #[cfg(debug_assertions)]
+    shared_writer: Vec<u32>,
+    /// Each warp's slice of the SM's L1 cache, direct-mapped by sector
+    /// (concatenated per warp). Captures both the spatial reuse of
+    /// sequential scans (a merge re-reads each 32-byte sector ~8 times)
+    /// and the cross-lane reuse of hot search-table tops — while keeping
+    /// the slice small enough that many concurrent per-lane streams
+    /// conflict, as they do in the real 128 KB/SM cache shared by 2048
+    /// threads.
+    l1: Vec<u64>,
+    l1_slice: usize,
+    counters: ProfileCounters,
+    cycles: u64,
+    fault: Option<String>,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub fn block_idx(&self) -> u32 {
+        self.block_idx
+    }
+
+    pub fn block_dim(&self) -> u32 {
+        self.block_dim
+    }
+
+    pub fn grid_dim(&self) -> u32 {
+        self.grid_dim
+    }
+
+    /// Words of shared memory available to this block.
+    pub fn shared_words(&self) -> u32 {
+        self.shared.len() as u32
+    }
+
+    /// Run one barrier-delimited phase: the closure is invoked once per
+    /// lane, in lane order. Values written to shared memory in this phase
+    /// are visible to *all* lanes from the next phase on (and to later
+    /// lanes of this phase, matching any CUDA schedule of a race-free
+    /// kernel that separates producers and consumers with barriers).
+    pub fn phase<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut LaneCtx<'_, '_>),
+    {
+        for tid in 0..self.block_dim {
+            let warp = (tid as usize / WARP_SIZE) * self.l1_slice;
+            let mut lane = LaneCtx {
+                mem: self.mem,
+                shared: &mut self.shared,
+                trace: &mut self.traces[tid as usize],
+                #[cfg(debug_assertions)]
+                shared_writer: &mut self.shared_writer,
+                l1: &mut self.l1[warp..warp + self.l1_slice],
+                l1_mask: self.l1_slice as u64 - 1,
+                tid,
+                block_idx: self.block_idx,
+                block_dim: self.block_dim,
+                grid_dim: self.grid_dim,
+                fault: &mut self.fault,
+            };
+            f(&mut lane);
+        }
+        self.barrier();
+    }
+
+    /// Replay the traces accumulated since the previous barrier.
+    fn barrier(&mut self) {
+        #[cfg(debug_assertions)]
+        self.shared_writer.fill(NO_WRITER);
+        let mut phase_cycles = 0u64;
+        for warp in self.traces.chunks(WARP_SIZE) {
+            let (cycles, counters) = replay_warp(warp, &self.cost);
+            // Warps of a block run concurrently; the barrier waits for
+            // the slowest one.
+            phase_cycles = phase_cycles.max(cycles);
+            self.counters += counters;
+        }
+        self.cycles += phase_cycles;
+        for t in &mut self.traces {
+            t.clear();
+        }
+    }
+}
+
+/// Sentinel: the shared slot has not been plain-stored this phase.
+#[cfg(debug_assertions)]
+const NO_WRITER: u32 = u32::MAX;
+/// Sentinel: several lanes stored the *same* value this phase — a benign
+/// write-write idiom (e.g. flags); any lane may read it.
+#[cfg(debug_assertions)]
+const SHARED_WRITERS: u32 = u32::MAX - 1;
+
+/// Per-lane context: the kernel-facing instruction set. Every method both
+/// performs the real operation (against device/shared memory) and records
+/// it in the lane's trace for lockstep replay.
+pub struct LaneCtx<'a, 'b> {
+    mem: &'a DeviceMem,
+    shared: &'b mut Vec<u32>,
+    trace: &'b mut LaneTrace,
+    #[cfg(debug_assertions)]
+    shared_writer: &'b mut Vec<u32>,
+    l1: &'b mut [u64],
+    l1_mask: u64,
+    tid: u32,
+    block_idx: u32,
+    block_dim: u32,
+    grid_dim: u32,
+    fault: &'b mut Option<String>,
+}
+
+impl LaneCtx<'_, '_> {
+    /// Thread index within the block (`threadIdx.x`).
+    #[inline]
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Block index within the grid (`blockIdx.x`).
+    #[inline]
+    pub fn block_idx(&self) -> u32 {
+        self.block_idx
+    }
+
+    /// Threads per block (`blockDim.x`).
+    #[inline]
+    pub fn block_dim(&self) -> u32 {
+        self.block_dim
+    }
+
+    /// Blocks per grid (`gridDim.x`).
+    #[inline]
+    pub fn grid_dim(&self) -> u32 {
+        self.grid_dim
+    }
+
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_tid(&self) -> u32 {
+        self.block_idx * self.block_dim + self.tid
+    }
+
+    /// Lane index within the warp.
+    #[inline]
+    pub fn lane_id(&self) -> u32 {
+        self.tid % WARP_SIZE as u32
+    }
+
+    /// Warp index within the block.
+    #[inline]
+    pub fn warp_id(&self) -> u32 {
+        self.tid / WARP_SIZE as u32
+    }
+
+    /// Report a kernel-level failure (e.g. a fixed-capacity structure
+    /// overflowed); the launch returns [`SimError::KernelFault`].
+    pub fn fault(&mut self, msg: impl Into<String>) {
+        if self.fault.is_none() {
+            *self.fault = Some(msg.into());
+        }
+    }
+
+    /// Record `n` arithmetic instructions (comparisons, address math...).
+    #[inline]
+    pub fn compute(&mut self, n: u32) {
+        for _ in 0..n {
+            self.trace.push(Op::Compute);
+        }
+    }
+
+    /// Warp-reconvergence point (`__syncwarp` / the implicit re-join at
+    /// the bottom of a divergent loop). Call it at the end of each outer
+    /// loop iteration whose body contains data-dependent inner loops, so
+    /// the replay re-aligns the lanes like real SIMT hardware does.
+    #[inline]
+    pub fn converge(&mut self) {
+        self.trace.push(Op::Converge);
+    }
+
+    /// Load one word from global memory. Consecutive touches of the same
+    /// 32-byte sector by this lane are recorded as L1 hits (no DRAM
+    /// transaction), modelling the spatial locality of sequential scans.
+    #[inline]
+    pub fn ld_global(&mut self, buf: BufId, idx: usize) -> u32 {
+        let addr = self.mem.addr_of(buf, idx);
+        let sector = addr / crate::SECTOR_BYTES;
+        let slot = (sector & self.l1_mask) as usize;
+        if self.l1[slot] == sector {
+            self.trace.push(Op::GLoadHit(addr));
+        } else {
+            self.l1[slot] = sector;
+            self.trace.push(Op::GLoad(addr));
+        }
+        self.mem.load(buf, idx)
+    }
+
+    /// Store one word to global memory.
+    #[inline]
+    pub fn st_global(&mut self, buf: BufId, idx: usize, val: u32) {
+        self.trace.push(Op::GStore(self.mem.addr_of(buf, idx)));
+        self.mem.store(buf, idx, val);
+    }
+
+    /// `atomicAdd` on global memory; returns the previous value.
+    #[inline]
+    pub fn atomic_add_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
+        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+        self.mem.fetch_add(buf, idx, val)
+    }
+
+    /// `atomicOr` on global memory; returns the previous value.
+    #[inline]
+    pub fn atomic_or_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
+        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+        self.mem.fetch_or(buf, idx, val)
+    }
+
+    /// `atomicAnd` on global memory; returns the previous value.
+    #[inline]
+    pub fn atomic_and_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
+        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+        self.mem.fetch_and(buf, idx, val)
+    }
+
+    /// `atomicCAS` on global memory; returns the previous value.
+    #[inline]
+    pub fn atomic_cas_global(&mut self, buf: BufId, idx: usize, cur: u32, new: u32) -> u32 {
+        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+        self.mem.compare_exchange(buf, idx, cur, new)
+    }
+
+    /// Correctness-only global add with **no traffic recorded**. This is
+    /// the backchannel for warp-reduction helpers: the hardware cost of a
+    /// `__shfl_down`+single-atomic reduction is modeled explicitly by the
+    /// helper (see `tc-algos::util::warp_reduce_add`), while every lane's
+    /// contribution still lands in the counter for exactness.
+    #[inline]
+    pub fn add_global_untraced(&mut self, buf: BufId, idx: usize, val: u32) {
+        self.mem.fetch_add(buf, idx, val);
+    }
+
+    #[inline]
+    fn shared_slot(&mut self, idx: usize) -> &mut u32 {
+        match self.shared.get_mut(idx) {
+            Some(w) => w,
+            None => panic!("shared memory fault: index {idx} out of bounds"),
+        }
+    }
+
+    /// Load one word from shared memory. In debug builds, reading a slot
+    /// another lane plain-stored since the last barrier panics — that is
+    /// a data race in CUDA (lanes only appear ordered here because the
+    /// simulator runs them sequentially).
+    #[inline]
+    pub fn ld_shared(&mut self, idx: usize) -> u32 {
+        self.trace.push(Op::SLoad(idx as u32));
+        #[cfg(debug_assertions)]
+        {
+            let w = self.shared_writer[idx];
+            assert!(
+                w == NO_WRITER || w == SHARED_WRITERS || w == self.tid,
+                "shared-memory race: lane {} reads slot {idx} stored by lane {w} \
+                 in the same phase (missing barrier)",
+                self.tid
+            );
+        }
+        *self.shared_slot(idx)
+    }
+
+    /// Store one word to shared memory.
+    #[inline]
+    pub fn st_shared(&mut self, idx: usize, val: u32) {
+        self.trace.push(Op::SStore(idx as u32));
+        #[cfg(debug_assertions)]
+        {
+            // Record the writer. Concurrent same-value stores (a common
+            // benign idiom, e.g. overflow flags) downgrade to a shared
+            // marker readable by anyone; a conflicting value makes the
+            // last writer exclusive again.
+            let w = self.shared_writer[idx];
+            self.shared_writer[idx] = if w == NO_WRITER {
+                self.tid
+            } else if self.shared[idx] == val {
+                if w == self.tid {
+                    w
+                } else {
+                    SHARED_WRITERS
+                }
+            } else {
+                self.tid
+            };
+        }
+        *self.shared_slot(idx) = val;
+    }
+
+    /// `atomicAdd` on shared memory; returns the previous value.
+    #[inline]
+    pub fn atomic_add_shared(&mut self, idx: usize, val: u32) -> u32 {
+        self.trace.push(Op::SAtomic(idx as u32));
+        let w = self.shared_slot(idx);
+        let old = *w;
+        *w = old.wrapping_add(val);
+        old
+    }
+
+    /// `atomicOr` on shared memory; returns the previous value.
+    #[inline]
+    pub fn atomic_or_shared(&mut self, idx: usize, val: u32) -> u32 {
+        self.trace.push(Op::SAtomic(idx as u32));
+        let w = self.shared_slot(idx);
+        let old = *w;
+        *w = old | val;
+        old
+    }
+
+    /// `atomicAnd` on shared memory; returns the previous value.
+    #[inline]
+    pub fn atomic_and_shared(&mut self, idx: usize, val: u32) -> u32 {
+        self.trace.push(Op::SAtomic(idx as u32));
+        let w = self.shared_slot(idx);
+        let old = *w;
+        *w = old & val;
+        old
+    }
+}
+
+/// Execute one block and return its (cycles, counters).
+pub(crate) fn run_block<F>(
+    dev: &Device,
+    mem: &DeviceMem,
+    cfg: &KernelConfig,
+    block_idx: u32,
+    kernel: &F,
+) -> Result<(u64, ProfileCounters), SimError>
+where
+    F: Fn(&mut BlockCtx<'_>) + Sync,
+{
+    // Each warp's proportional slice of the SM's L1, direct-mapped,
+    // rounded to a power of two (V100: 4096 sectors / 64 warps = 64).
+    let l1_slice = (dev.config().l1_sectors_per_sm as u64 * WARP_SIZE as u64
+        / dev.config().max_threads_per_sm.max(1) as u64)
+        .max(16)
+        .next_power_of_two() as usize;
+    let warps = (cfg.block_dim as usize).div_ceil(WARP_SIZE);
+    let mut blk = BlockCtx {
+        mem,
+        cost: dev.config().cost,
+        block_idx,
+        block_dim: cfg.block_dim,
+        grid_dim: cfg.grid_dim,
+        shared: vec![0u32; cfg.shared_words as usize],
+        traces: vec![LaneTrace::default(); cfg.block_dim as usize],
+        #[cfg(debug_assertions)]
+        shared_writer: vec![NO_WRITER; cfg.shared_words as usize],
+        l1: vec![u64::MAX; warps * l1_slice],
+        l1_slice,
+        counters: ProfileCounters::default(),
+        cycles: 0,
+        fault: None,
+    };
+    kernel(&mut blk);
+    // Flush any trailing un-barriered work (kernel end is a barrier).
+    blk.barrier();
+    if let Some(msg) = blk.fault {
+        return Err(SimError::KernelFault(msg));
+    }
+    Ok((blk.cycles, blk.counters))
+}
+
+/// Scratch for one lockstep step of one warp.
+#[derive(Default)]
+struct StepScratch {
+    /// Global-load misses (addresses that cost DRAM sectors).
+    gload: Vec<u64>,
+    /// Global-load L1 hits (wavefronts in the request, no DRAM traffic).
+    gload_hits: Vec<u64>,
+    gstore: Vec<u64>,
+    gatomic: Vec<u64>,
+    sload: Vec<u32>,
+    sstore: Vec<u32>,
+    satomic: Vec<u32>,
+    compute: u32,
+}
+
+impl StepScratch {
+    fn clear(&mut self) {
+        self.gload.clear();
+        self.gload_hits.clear();
+        self.gstore.clear();
+        self.gatomic.clear();
+        self.sload.clear();
+        self.sstore.clear();
+        self.satomic.clear();
+        self.compute = 0;
+    }
+}
+
+/// Count distinct 32-byte sectors among the (word) addresses of one warp
+/// load/store slot.
+fn count_sectors(addrs: &mut [u64]) -> u64 {
+    addrs.sort_unstable();
+    let mut sectors = 0u64;
+    let mut last = u64::MAX;
+    for &a in addrs.iter() {
+        let s = a / crate::SECTOR_BYTES;
+        if s != last {
+            sectors += 1;
+            last = s;
+        }
+    }
+    sectors
+}
+
+/// Worst-case same-address collision depth (atomics serialize on address).
+fn max_same_addr_depth<T: Ord + Copy>(addrs: &mut [T]) -> u64 {
+    addrs.sort_unstable();
+    let mut best = 0u64;
+    let mut run = 0u64;
+    let mut last: Option<T> = None;
+    for &a in addrs.iter() {
+        if Some(a) == last {
+            run += 1;
+        } else {
+            run = 1;
+            last = Some(a);
+        }
+        best = best.max(run);
+    }
+    best
+}
+
+/// Shared-memory bank-conflict ways: accesses to the same word broadcast,
+/// accesses to distinct words in the same bank serialize.
+fn bank_conflict_ways(addrs: &mut [u32]) -> u64 {
+    addrs.sort_unstable();
+    let mut per_bank = [0u64; SHARED_BANKS];
+    let mut last = u32::MAX;
+    for &a in addrs.iter() {
+        if a != last {
+            per_bank[(a as usize) % SHARED_BANKS] += 1;
+            last = a;
+        }
+    }
+    per_bank.iter().copied().max().unwrap_or(0).max(1)
+}
+
+/// Replay the lanes of one warp in lockstep and return (cycles, counters).
+///
+/// At each step, the next un-replayed op of every still-active lane is
+/// gathered; lanes that diverged onto different op kinds serialize into
+/// separate issue slots (SIMT branch divergence), and lanes whose traces
+/// already ended count as inactive, which is what depresses
+/// `warp_execution_efficiency` for imbalanced workloads.
+///
+/// [`Op::Converge`] markers re-align the lanes: a lane that reaches one
+/// stalls (inactive) until every unfinished lane is also at a marker,
+/// then all markers are consumed together — the branch re-join of real
+/// SIMT hardware, without which lanes that skip a data-dependent inner
+/// loop would stay shifted against their siblings forever.
+fn replay_warp(traces: &[LaneTrace], cost: &CostModel) -> (u64, ProfileCounters) {
+    let mut counters = ProfileCounters::default();
+    let mut cycles = 0u64;
+    if traces.iter().all(LaneTrace::is_empty) {
+        return (0, counters);
+    }
+    let mut cursors = vec![0usize; traces.len()];
+    let mut scratch = StepScratch::default();
+    loop {
+        scratch.clear();
+        let mut converge_waiting = false;
+        for (lane, t) in traces.iter().enumerate() {
+            if let Some(&op) = t.ops.get(cursors[lane]) {
+                match op {
+                    Op::Converge => converge_waiting = true,
+                    Op::GLoad(a) => scratch.gload.push(a),
+                    Op::GLoadHit(a) => scratch.gload_hits.push(a),
+                    Op::GStore(a) => scratch.gstore.push(a),
+                    Op::GAtomic(a) => scratch.gatomic.push(a),
+                    Op::SLoad(a) => scratch.sload.push(a),
+                    Op::SStore(a) => scratch.sstore.push(a),
+                    Op::SAtomic(a) => scratch.satomic.push(a),
+                    Op::Compute => scratch.compute += 1,
+                }
+                if !matches!(op, Op::Converge) {
+                    cursors[lane] += 1;
+                }
+            }
+        }
+        let issued_real_op = !scratch.gload.is_empty()
+            || !scratch.gload_hits.is_empty()
+            || !scratch.gstore.is_empty()
+            || !scratch.gatomic.is_empty()
+            || !scratch.sload.is_empty()
+            || !scratch.sstore.is_empty()
+            || !scratch.satomic.is_empty()
+            || scratch.compute > 0;
+        if !issued_real_op {
+            if converge_waiting {
+                // Every unfinished lane sits at a marker: consume them
+                // all and re-align.
+                for (lane, t) in traces.iter().enumerate() {
+                    if matches!(t.ops.get(cursors[lane]), Some(Op::Converge)) {
+                        cursors[lane] += 1;
+                    }
+                }
+                continue;
+            }
+            break; // all traces exhausted
+        }
+        let mut issue = |active: u64| {
+            counters.issued_slots += 1;
+            counters.active_thread_slots += active;
+        };
+        if !scratch.gload.is_empty() || !scratch.gload_hits.is_empty() {
+            issue((scratch.gload.len() + scratch.gload_hits.len()) as u64);
+            let miss_sectors = count_sectors(&mut scratch.gload);
+            // nvprof's gld_transactions counts wavefronts (distinct
+            // sectors addressed) regardless of cache hits.
+            let mut all: Vec<u64> = scratch
+                .gload
+                .iter()
+                .chain(scratch.gload_hits.iter())
+                .copied()
+                .collect();
+            let total_sectors = count_sectors(&mut all);
+            counters.global_load_requests += 1;
+            counters.gld_transactions += total_sectors;
+            counters.dram_load_sectors += miss_sectors;
+            cycles += cost.global_load_slot(total_sectors, miss_sectors);
+        }
+        if !scratch.gstore.is_empty() {
+            issue(scratch.gstore.len() as u64);
+            let sectors = count_sectors(&mut scratch.gstore);
+            counters.global_store_requests += 1;
+            counters.gst_transactions += sectors;
+            cycles += cost.global_slot(sectors);
+        }
+        if !scratch.gatomic.is_empty() {
+            issue(scratch.gatomic.len() as u64);
+            let depth = max_same_addr_depth(&mut scratch.gatomic);
+            counters.global_atomic_requests += 1;
+            cycles += cost.global_atomic_slot(depth);
+        }
+        if !scratch.sload.is_empty() {
+            issue(scratch.sload.len() as u64);
+            let ways = bank_conflict_ways(&mut scratch.sload);
+            counters.shared_load_requests += 1;
+            cycles += cost.shared_slot(ways);
+        }
+        if !scratch.sstore.is_empty() {
+            issue(scratch.sstore.len() as u64);
+            let ways = bank_conflict_ways(&mut scratch.sstore);
+            counters.shared_store_requests += 1;
+            cycles += cost.shared_slot(ways);
+        }
+        if !scratch.satomic.is_empty() {
+            issue(scratch.satomic.len() as u64);
+            let depth = max_same_addr_depth(&mut scratch.satomic);
+            counters.shared_atomic_requests += 1;
+            cycles += cost.shared_atomic_slot(depth);
+        }
+        if scratch.compute > 0 {
+            issue(scratch.compute as u64);
+            counters.compute_slots += 1;
+            cycles += cost.compute;
+        }
+    }
+    (cycles, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::LaneTrace;
+
+    fn trace_of(ops: &[Op]) -> LaneTrace {
+        LaneTrace { ops: ops.to_vec() }
+    }
+
+    #[test]
+    fn sector_counting_coalesced_vs_scattered() {
+        // 32 lanes reading consecutive words: 32 * 4B = 128B = 4 sectors.
+        let mut coalesced: Vec<u64> = (0..32u64).map(|i| i * 4).collect();
+        assert_eq!(count_sectors(&mut coalesced), 4);
+        // 32 lanes each in its own sector.
+        let mut scattered: Vec<u64> = (0..32u64).map(|i| i * 4096).collect();
+        assert_eq!(count_sectors(&mut scattered), 32);
+        // All lanes on the same word: a single broadcastable sector.
+        let mut broadcast: Vec<u64> = vec![100; 32];
+        assert_eq!(count_sectors(&mut broadcast), 1);
+    }
+
+    #[test]
+    fn collision_depth() {
+        let mut a = vec![1u64, 2, 2, 2, 3];
+        assert_eq!(max_same_addr_depth(&mut a), 3);
+        let mut b = vec![5u64];
+        assert_eq!(max_same_addr_depth(&mut b), 1);
+    }
+
+    #[test]
+    fn bank_conflicts() {
+        // Stride-1: each lane its own bank.
+        let mut s: Vec<u32> = (0..32).collect();
+        assert_eq!(bank_conflict_ways(&mut s), 1);
+        // Stride-32: all lanes in bank 0 -> 32-way conflict.
+        let mut c: Vec<u32> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflict_ways(&mut c), 32);
+        // Same word everywhere: broadcast, no conflict.
+        let mut b: Vec<u32> = vec![7; 32];
+        assert_eq!(bank_conflict_ways(&mut b), 1);
+    }
+
+    #[test]
+    fn replay_counts_divergence() {
+        let cost = CostModel::v100();
+        // Lane 0 does 4 computes, lane 1 does 1: 4 slots, 5 active-thread
+        // slots => efficiency 5/(4*32).
+        let traces = vec![
+            trace_of(&[Op::Compute, Op::Compute, Op::Compute, Op::Compute]),
+            trace_of(&[Op::Compute]),
+        ];
+        let (cycles, c) = replay_warp(&traces, &cost);
+        assert_eq!(c.issued_slots, 4);
+        assert_eq!(c.active_thread_slots, 5);
+        assert_eq!(c.compute_slots, 4);
+        assert_eq!(cycles, 4 * cost.compute);
+    }
+
+    #[test]
+    fn replay_splits_divergent_kinds() {
+        let cost = CostModel::v100();
+        // Two lanes at step 0 doing different kinds: two issue slots.
+        let traces = vec![trace_of(&[Op::Compute]), trace_of(&[Op::GLoad(0)])];
+        let (_, c) = replay_warp(&traces, &cost);
+        assert_eq!(c.issued_slots, 2);
+        assert_eq!(c.active_thread_slots, 2);
+        assert_eq!(c.global_load_requests, 1);
+        assert_eq!(c.compute_slots, 1);
+    }
+
+    #[test]
+    fn replay_groups_coalesced_loads() {
+        let cost = CostModel::v100();
+        // 8 lanes load 8 consecutive words (one sector): 1 request,
+        // 1 transaction.
+        let traces: Vec<LaneTrace> = (0..8u64).map(|i| trace_of(&[Op::GLoad(i * 4)])).collect();
+        let (cycles, c) = replay_warp(&traces, &cost);
+        assert_eq!(c.global_load_requests, 1);
+        assert_eq!(c.gld_transactions, 1);
+        assert_eq!(c.dram_load_sectors, 1);
+        assert_eq!(cycles, cost.global_load_slot(1, 1));
+    }
+
+    #[test]
+    fn replay_counts_hit_wavefronts_as_transactions() {
+        let cost = CostModel::v100();
+        // Two lanes in different sectors, both L1 hits: one request, two
+        // wavefront transactions, zero DRAM sectors.
+        let traces = vec![
+            trace_of(&[Op::GLoadHit(0)]),
+            trace_of(&[Op::GLoadHit(4096)]),
+        ];
+        let (cycles, c) = replay_warp(&traces, &cost);
+        assert_eq!(c.global_load_requests, 1);
+        assert_eq!(c.gld_transactions, 2);
+        assert_eq!(c.dram_load_sectors, 0);
+        assert_eq!(cycles, cost.global_load_slot(2, 0));
+        assert!(cycles < cost.global_load_slot(2, 2));
+    }
+
+    #[test]
+    fn converge_realigns_shifted_lanes() {
+        let cost = CostModel::v100();
+        // Lane 0 does 3 computes then a load; lane 1 does 1 compute then
+        // a load. Without markers the loads land on different steps (2
+        // separate requests); with a marker before the load they align
+        // into one coalesced request.
+        let unaligned = vec![
+            trace_of(&[Op::Compute, Op::Compute, Op::Compute, Op::GLoad(0)]),
+            trace_of(&[Op::Compute, Op::GLoad(4)]),
+        ];
+        let (_, c) = replay_warp(&unaligned, &cost);
+        assert_eq!(c.global_load_requests, 2);
+
+        let aligned = vec![
+            trace_of(&[Op::Compute, Op::Compute, Op::Compute, Op::Converge, Op::GLoad(0)]),
+            trace_of(&[Op::Compute, Op::Converge, Op::GLoad(4)]),
+        ];
+        let (_, c) = replay_warp(&aligned, &cost);
+        assert_eq!(c.global_load_requests, 1);
+        assert_eq!(c.gld_transactions, 1, "aligned loads share a sector");
+    }
+
+    #[test]
+    fn converge_with_exhausted_lanes_does_not_deadlock() {
+        let cost = CostModel::v100();
+        let traces = vec![
+            trace_of(&[Op::Compute, Op::Converge, Op::Compute]),
+            trace_of(&[Op::Compute]), // finishes before the marker
+            LaneTrace::default(),     // never does anything
+        ];
+        let (_, c) = replay_warp(&traces, &cost);
+        assert_eq!(c.compute_slots, 2);
+    }
+
+    #[test]
+    fn trailing_converge_is_free() {
+        let cost = CostModel::v100();
+        let traces = vec![trace_of(&[Op::Converge]), trace_of(&[Op::Converge])];
+        let (cycles, c) = replay_warp(&traces, &cost);
+        assert_eq!(cycles, 0);
+        assert_eq!(c.issued_slots, 0);
+    }
+
+    #[test]
+    fn empty_traces_are_free() {
+        let cost = CostModel::v100();
+        let traces = vec![LaneTrace::default(); 32];
+        let (cycles, c) = replay_warp(&traces, &cost);
+        assert_eq!(cycles, 0);
+        assert_eq!(c.issued_slots, 0);
+    }
+}

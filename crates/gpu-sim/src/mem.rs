@@ -1,0 +1,275 @@
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::{Device, SimError};
+
+/// Handle to a device-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub(crate) usize);
+
+struct Buffer {
+    /// Byte address of the first word in the flat device address space.
+    base: u64,
+    data: Vec<AtomicU32>,
+    name: String,
+}
+
+/// The device's global-memory address space.
+///
+/// All words are `AtomicU32` so that blocks executing in parallel (on
+/// rayon workers) can load, store and RMW concurrently, just like CUDA
+/// thread blocks. Capacity is bounded by the owning [`Device`]'s
+/// configuration; exceeding it yields [`SimError::OutOfMemory`], which is
+/// how several published implementations fail on the largest graphs.
+pub struct DeviceMem {
+    buffers: Vec<Buffer>,
+    capacity_words: u64,
+    allocated_words: u64,
+    next_base: u64,
+}
+
+/// Buffers are aligned to 256 bytes like `cudaMalloc` allocations, so a
+/// buffer's element 0 always starts a fresh sector.
+const ALLOC_ALIGN: u64 = 256;
+
+impl DeviceMem {
+    pub fn new(device: &Device) -> Self {
+        DeviceMem {
+            buffers: Vec::new(),
+            capacity_words: device.config().global_mem_words,
+            allocated_words: 0,
+            next_base: 0,
+        }
+    }
+
+    /// Words still available for allocation.
+    pub fn available_words(&self) -> u64 {
+        self.capacity_words - self.allocated_words
+    }
+
+    /// Words currently allocated.
+    pub fn allocated_words(&self) -> u64 {
+        self.allocated_words
+    }
+
+    fn alloc_inner(&mut self, len: usize, name: &str) -> Result<BufId, SimError> {
+        let words = len as u64;
+        if words > self.available_words() {
+            return Err(SimError::OutOfMemory {
+                what: name.to_string(),
+                requested_words: words,
+                available_words: self.available_words(),
+            });
+        }
+        let base = self.next_base;
+        self.next_base = (base + words * 4).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        self.allocated_words += words;
+        self.buffers.push(Buffer {
+            base,
+            data: Vec::new(),
+            name: name.to_string(),
+        });
+        Ok(BufId(self.buffers.len() - 1))
+    }
+
+    /// Allocate and copy a host slice to the device.
+    pub fn alloc_from_slice(&mut self, data: &[u32], name: &str) -> Result<BufId, SimError> {
+        let id = self.alloc_inner(data.len(), name)?;
+        self.buffers[id.0].data = data.iter().map(|&w| AtomicU32::new(w)).collect();
+        Ok(id)
+    }
+
+    /// Allocate a zero-filled buffer.
+    pub fn alloc_zeroed(&mut self, len: usize, name: &str) -> Result<BufId, SimError> {
+        let id = self.alloc_inner(len, name)?;
+        self.buffers[id.0].data = (0..len).map(|_| AtomicU32::new(0)).collect();
+        Ok(id)
+    }
+
+    /// Free a buffer's capacity accounting and contents. The handle (and
+    /// any copy of it) must not be used afterwards; the slot keeps its
+    /// base address so stale handles fail loudly on access.
+    pub fn free(&mut self, id: BufId) {
+        let buf = &mut self.buffers[id.0];
+        self.allocated_words -= buf.data.len() as u64;
+        buf.data = Vec::new();
+        buf.name.push_str(" (freed)");
+    }
+
+    /// Copy a buffer back to the host.
+    pub fn read_back(&self, id: BufId) -> Vec<u32> {
+        self.buffers[id.0]
+            .data
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of words in a buffer.
+    pub fn len(&self, id: BufId) -> usize {
+        self.buffers[id.0].data.len()
+    }
+
+    /// Whether the buffer has zero words.
+    pub fn is_empty(&self, id: BufId) -> bool {
+        self.buffers[id.0].data.is_empty()
+    }
+
+    /// Host-side fill (no traffic counted) — the CUDA `cudaMemset` analog.
+    pub fn fill(&self, id: BufId, value: u32) {
+        for w in &self.buffers[id.0].data {
+            w.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Debug name of the buffer.
+    pub fn name(&self, id: BufId) -> &str {
+        &self.buffers[id.0].name
+    }
+
+    #[inline]
+    pub(crate) fn addr_of(&self, id: BufId, idx: usize) -> u64 {
+        self.buffers[id.0].base + (idx as u64) * 4
+    }
+
+    #[inline]
+    pub(crate) fn word(&self, id: BufId, idx: usize) -> &AtomicU32 {
+        let buf = &self.buffers[id.0];
+        match buf.data.get(idx) {
+            Some(w) => w,
+            None => panic!(
+                "device memory fault: `{}`[{idx}] out of bounds (len {})",
+                buf.name,
+                buf.data.len()
+            ),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn load(&self, id: BufId, idx: usize) -> u32 {
+        self.word(id, idx).load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn store(&self, id: BufId, idx: usize, val: u32) {
+        self.word(id, idx).store(val, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn fetch_add(&self, id: BufId, idx: usize, val: u32) -> u32 {
+        self.word(id, idx).fetch_add(val, Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn fetch_or(&self, id: BufId, idx: usize, val: u32) -> u32 {
+        self.word(id, idx).fetch_or(val, Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn fetch_and(&self, id: BufId, idx: usize, val: u32) -> u32 {
+        self.word(id, idx).fetch_and(val, Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn compare_exchange(&self, id: BufId, idx: usize, cur: u32, new: u32) -> u32 {
+        match self
+            .word(id, idx)
+            .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(old) | Err(old) => old,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    fn small_device() -> Device {
+        Device::with_memory_words(1024)
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_from_slice(&[7, 8, 9], "t").unwrap();
+        assert_eq!(mem.read_back(b), vec![7, 8, 9]);
+        assert_eq!(mem.len(b), 3);
+        assert!(!mem.is_empty(b));
+        assert_eq!(mem.name(b), "t");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        mem.alloc_zeroed(1000, "big").unwrap();
+        let err = mem.alloc_zeroed(100, "overflow").unwrap_err();
+        match err {
+            SimError::OutOfMemory {
+                requested_words,
+                available_words,
+                ..
+            } => {
+                assert_eq!(requested_words, 100);
+                assert_eq!(available_words, 24);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_returns_capacity() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_zeroed(1000, "big").unwrap();
+        mem.free(b);
+        assert_eq!(mem.allocated_words(), 0);
+        mem.alloc_zeroed(1000, "again").unwrap();
+    }
+
+    #[test]
+    fn buffers_start_sector_aligned() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let a = mem.alloc_from_slice(&[1], "a").unwrap();
+        let b = mem.alloc_from_slice(&[2], "b").unwrap();
+        assert_eq!(mem.addr_of(a, 0) % ALLOC_ALIGN, 0);
+        assert_eq!(mem.addr_of(b, 0) % ALLOC_ALIGN, 0);
+        assert_ne!(mem.addr_of(a, 0), mem.addr_of(b, 0));
+    }
+
+    #[test]
+    fn fill_overwrites_all_words() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_from_slice(&[1, 2, 3], "t").unwrap();
+        mem.fill(b, 9);
+        assert_eq!(mem.read_back(b), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn atomics_behave() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_zeroed(2, "t").unwrap();
+        assert_eq!(mem.fetch_add(b, 0, 5), 0);
+        assert_eq!(mem.fetch_add(b, 0, 5), 5);
+        assert_eq!(mem.fetch_or(b, 1, 0b10), 0);
+        assert_eq!(mem.fetch_and(b, 1, 0b10), 0b10);
+        assert_eq!(mem.compare_exchange(b, 0, 10, 99), 10);
+        assert_eq!(mem.load(b, 0), 99);
+        assert_eq!(mem.compare_exchange(b, 0, 10, 50), 99);
+        assert_eq!(mem.load(b, 0), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_zeroed(2, "t").unwrap();
+        mem.load(b, 2);
+    }
+}

@@ -1,0 +1,63 @@
+/// One recorded lane operation.
+///
+/// Lanes append one `Op` per simulated instruction; the warp replayer
+/// aligns the traces of the 32 lanes of a warp step-by-step and charges
+/// each step according to the [`crate::CostModel`]. Addresses are byte
+/// addresses in the flat device address space (global) or word indices
+/// (shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Global-memory load of one 4-byte word at the given byte address.
+    GLoad(u64),
+    /// Global load served by the lane's recently-touched sectors (L1
+    /// spatial reuse — e.g. the next element of a sequential scan). Counts
+    /// as part of the warp's load request but adds no DRAM transaction.
+    GLoadHit(u64),
+    /// Global-memory store of one 4-byte word.
+    GStore(u64),
+    /// Global-memory atomic read-modify-write.
+    GAtomic(u64),
+    /// Shared-memory load at the given word index.
+    SLoad(u32),
+    /// Shared-memory store.
+    SStore(u32),
+    /// Shared-memory atomic read-modify-write.
+    SAtomic(u32),
+    /// One arithmetic/logic instruction (comparison, add, address math...).
+    Compute,
+    /// Warp-reconvergence marker (`__syncwarp` / the implicit branch
+    /// re-join at the bottom of a loop): lanes that reach it wait for
+    /// every other lane, re-aligning the lockstep replay. Costs nothing
+    /// by itself; the cost is the stall of the lanes that arrive early.
+    Converge,
+}
+
+/// The recorded instruction stream of one lane within one phase.
+#[derive(Debug, Default, Clone)]
+pub struct LaneTrace {
+    pub ops: Vec<Op>,
+}
+
+impl LaneTrace {
+    #[inline]
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded ops (kept with `is_empty` for symmetry).
+    #[allow(dead_code)]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the lane recorded no ops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}

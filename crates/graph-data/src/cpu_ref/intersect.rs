@@ -1,0 +1,108 @@
+//! The four list-intersection primitives of Section II-B (Merge, Binary
+//! Search, Hash, BitMap) as plain CPU routines. Each returns the size of
+//! the intersection of two strictly-ascending lists. The GPU kernels
+//! re-implement these against the simulator; these copies are the oracle
+//! the property tests compare against.
+
+use crate::types::VertexId;
+
+/// Two-pointer merge intersection (the Forward/Polak primitive).
+pub fn intersect_merge(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Binary-search intersection: each element of the shorter list is looked
+/// up in the longer one (the TriCore/Hu primitive).
+pub fn intersect_binsearch(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (keys, table) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    keys.iter()
+        .filter(|k| table.binary_search(k).is_ok())
+        .count() as u64
+}
+
+/// Hash intersection with `buckets` chained buckets (the H-INDEX/TRUST
+/// primitive). The shorter list builds the table.
+pub fn intersect_hash(a: &[VertexId], b: &[VertexId], buckets: usize) -> u64 {
+    let (build, probe) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let buckets = buckets.max(1);
+    let mut table: Vec<Vec<VertexId>> = vec![Vec::new(); buckets];
+    for &x in build {
+        table[x as usize % buckets].push(x);
+    }
+    probe
+        .iter()
+        .filter(|&&x| table[x as usize % buckets].contains(&x))
+        .count() as u64
+}
+
+/// Bitmap intersection (the Bisson primitive): mark one list in a bitmap
+/// spanning the vertex-ID space, then test the other.
+pub fn intersect_bitmap(a: &[VertexId], b: &[VertexId], id_space: u32) -> u64 {
+    let words = (id_space as usize).div_ceil(32);
+    let mut bits = vec![0u32; words];
+    for &x in a {
+        bits[x as usize / 32] |= 1 << (x % 32);
+    }
+    b.iter()
+        .filter(|&&x| bits[x as usize / 32] >> (x % 32) & 1 == 1)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &[u32] = &[1, 3, 5, 7, 9];
+    const B: &[u32] = &[2, 3, 4, 7, 10, 12];
+
+    #[test]
+    fn all_primitives_agree_on_example() {
+        assert_eq!(intersect_merge(A, B), 2);
+        assert_eq!(intersect_binsearch(A, B), 2);
+        assert_eq!(intersect_hash(A, B, 4), 2);
+        assert_eq!(intersect_bitmap(A, B, 13), 2);
+    }
+
+    #[test]
+    fn empty_lists() {
+        assert_eq!(intersect_merge(&[], B), 0);
+        assert_eq!(intersect_binsearch(A, &[]), 0);
+        assert_eq!(intersect_hash(&[], &[], 8), 0);
+        assert_eq!(intersect_bitmap(&[], B, 13), 0);
+    }
+
+    #[test]
+    fn identical_lists() {
+        assert_eq!(intersect_merge(A, A), A.len() as u64);
+        assert_eq!(intersect_binsearch(A, A), A.len() as u64);
+        assert_eq!(intersect_hash(A, A, 2), A.len() as u64);
+        assert_eq!(intersect_bitmap(A, A, 10), A.len() as u64);
+    }
+
+    #[test]
+    fn single_bucket_hash_degenerates_to_scan() {
+        assert_eq!(intersect_hash(A, B, 1), 2);
+    }
+
+    #[test]
+    fn disjoint_lists() {
+        let c: &[u32] = &[100, 200];
+        assert_eq!(intersect_merge(A, c), 0);
+        assert_eq!(intersect_binsearch(A, c), 0);
+        assert_eq!(intersect_hash(A, c, 8), 0);
+        assert_eq!(intersect_bitmap(A, c, 201), 0);
+    }
+}

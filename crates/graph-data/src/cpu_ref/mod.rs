@@ -1,0 +1,16 @@
+//! Exact CPU triangle counters used as ground truth for every GPU run,
+//! plus the two non-intersection baselines sketched in the paper's
+//! Section II (matrix multiplication and subgraph matching).
+
+mod baselines;
+mod intersect;
+mod itc;
+
+pub use baselines::{matmul_count, node_iterator, subgraph_match};
+pub use intersect::{
+    intersect_binsearch, intersect_bitmap, intersect_hash, intersect_merge,
+};
+pub use itc::{
+    binsearch_count, bitmap_count, forward_merge, forward_merge_parallel, hash_count,
+    per_edge_supports,
+};

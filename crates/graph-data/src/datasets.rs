@@ -1,0 +1,320 @@
+//! The 19-dataset registry mirroring the paper's Table II.
+//!
+//! The SNAP originals (up to 1.8 B edges) are replaced by deterministic
+//! synthetic stand-ins that preserve what the paper's analysis actually
+//! depends on: the **relative size ordering** (the x-axis of every
+//! figure), the **average degree profile** (the overlaid curve in
+//! Figure 11) and the **degree-distribution family** of each graph
+//! (power-law social/web graphs vs. the near-regular road network).
+//! Everything is scaled down by roughly the same factor as the simulated
+//! device's global memory, so the algorithms that exhaust a real V100 on
+//! the largest graphs exhaust the simulator on the largest stand-ins.
+
+use crate::clean::clean_edges;
+use crate::gen::{barabasi_albert, erdos_renyi, rmat, road_grid};
+use crate::types::{EdgeList, UndirGraph};
+
+/// Dataset size bands used throughout the paper's narrative ("small"
+/// datasets are those with fewer than 2 M edges; "large" starts at the
+/// hundred-million-edge graphs where only TRUST and TriCore stay fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    Small,
+    Medium,
+    Large,
+}
+
+/// Generator recipe for a stand-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenSpec {
+    /// Power-law RMAT with canonical (0.57, 0.19, 0.19, 0.05) weights.
+    Rmat { scale: u32, raw_edges: usize },
+    /// Uniform random graph.
+    Er { n: u32, raw_edges: usize },
+    /// Preferential attachment with triad formation (clustered web /
+    /// collaboration graphs).
+    Ba { n: u32, m: u32, p_triad: f64 },
+    /// Road-network lattice.
+    Grid { rows: u32, cols: u32, keep: f64, diag: f64 },
+}
+
+/// One row of Table II: the paper's reported statistics plus the recipe
+/// for the synthetic stand-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    pub name: &'static str,
+    pub paper_vertices: u64,
+    pub paper_edges: u64,
+    pub paper_avg_degree: f64,
+    pub size_class: SizeClass,
+    pub gen: GenSpec,
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Generate, clean and return the stand-in graph. Deterministic.
+    pub fn build(&self) -> UndirGraph {
+        let raw: EdgeList = match self.gen {
+            GenSpec::Rmat { scale, raw_edges } => {
+                rmat(scale, raw_edges, 0.57, 0.19, 0.19, 0.05, self.seed)
+            }
+            GenSpec::Er { n, raw_edges } => erdos_renyi(n, raw_edges, self.seed),
+            GenSpec::Ba { n, m, p_triad } => barabasi_albert(n, m, p_triad, self.seed),
+            GenSpec::Grid { rows, cols, keep, diag } => {
+                road_grid(rows, cols, keep, diag, self.seed)
+            }
+        };
+        clean_edges(&raw).0
+    }
+
+    /// Look a spec up by its (case-insensitive) Table II name.
+    pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+        TABLE2_DATASETS
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// All 19 datasets of Table II, ordered by increasing paper edge count —
+/// the x-axis order of Figures 11, 12, 13 and 15.
+pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
+    DatasetSpec {
+        name: "As-Caida",
+        paper_vertices: 16_000,
+        paper_edges: 43_000,
+        paper_avg_degree: 5.2,
+        size_class: SizeClass::Small,
+        gen: GenSpec::Rmat { scale: 16, raw_edges: 55_000 },
+        seed: 101,
+    },
+    DatasetSpec {
+        name: "P2p-Gnutella31",
+        paper_vertices: 33_000,
+        paper_edges: 119_000,
+        paper_avg_degree: 7.0,
+        size_class: SizeClass::Small,
+        gen: GenSpec::Er { n: 33_000, raw_edges: 125_000 },
+        seed: 102,
+    },
+    DatasetSpec {
+        name: "Email-EuAll",
+        paper_vertices: 39_000,
+        paper_edges: 151_000,
+        paper_avg_degree: 7.7,
+        size_class: SizeClass::Small,
+        gen: GenSpec::Rmat { scale: 17, raw_edges: 190_000 },
+        seed: 103,
+    },
+    DatasetSpec {
+        name: "Soc-Slashdot0922",
+        paper_vertices: 53_000,
+        paper_edges: 475_000,
+        paper_avg_degree: 17.7,
+        size_class: SizeClass::Small,
+        gen: GenSpec::Rmat { scale: 16, raw_edges: 440_000 },
+        seed: 104,
+    },
+    DatasetSpec {
+        name: "Web-NotreDame",
+        paper_vertices: 163_000,
+        paper_edges: 928_000,
+        paper_avg_degree: 11.3,
+        size_class: SizeClass::Small,
+        gen: GenSpec::Ba { n: 62_000, m: 6, p_triad: 0.75 },
+        seed: 105,
+    },
+    DatasetSpec {
+        name: "Com-Dblp",
+        paper_vertices: 273_000,
+        paper_edges: 1_000_000,
+        paper_avg_degree: 7.3,
+        size_class: SizeClass::Small,
+        gen: GenSpec::Ba { n: 110_000, m: 4, p_triad: 0.6 },
+        seed: 106,
+    },
+    DatasetSpec {
+        name: "Amazon0601",
+        paper_vertices: 391_000,
+        paper_edges: 2_400_000,
+        paper_avg_degree: 12.4,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Ba { n: 86_000, m: 6, p_triad: 0.5 },
+        seed: 107,
+    },
+    DatasetSpec {
+        name: "RoadNet-CA",
+        paper_vertices: 1_600_000,
+        paper_edges: 2_400_000,
+        paper_avg_degree: 2.9,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Grid { rows: 620, cols: 620, keep: 0.75, diag: 0.04 },
+        seed: 108,
+    },
+    DatasetSpec {
+        name: "Wiki-Talk",
+        paper_vertices: 626_000,
+        paper_edges: 2_800_000,
+        paper_avg_degree: 9.2,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Rmat { scale: 18, raw_edges: 850_000 },
+        seed: 109,
+    },
+    DatasetSpec {
+        name: "Web-BerkStan",
+        paper_vertices: 645_000,
+        paper_edges: 6_600_000,
+        paper_avg_degree: 20.4,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Ba { n: 70_000, m: 10, p_triad: 0.7 },
+        seed: 110,
+    },
+    DatasetSpec {
+        name: "As-Skitter",
+        paper_vertices: 1_400_000,
+        paper_edges: 10_800_000,
+        paper_avg_degree: 14.7,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Rmat { scale: 18, raw_edges: 1_150_000 },
+        seed: 111,
+    },
+    DatasetSpec {
+        name: "Cit-Patents",
+        paper_vertices: 3_100_000,
+        paper_edges: 15_800_000,
+        paper_avg_degree: 10.2,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Rmat { scale: 19, raw_edges: 1_250_000 },
+        seed: 112,
+    },
+    DatasetSpec {
+        name: "Soc-Pokec",
+        paper_vertices: 1_400_000,
+        paper_edges: 22_100_000,
+        paper_avg_degree: 30.1,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Rmat { scale: 17, raw_edges: 1_500_000 },
+        seed: 113,
+    },
+    DatasetSpec {
+        name: "Sx-Stackoverflow",
+        paper_vertices: 1_900_000,
+        paper_edges: 27_500_000,
+        paper_avg_degree: 28.0,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Rmat { scale: 17, raw_edges: 1_700_000 },
+        seed: 114,
+    },
+    DatasetSpec {
+        name: "Com-Lj",
+        paper_vertices: 3_200_000,
+        paper_edges: 33_800_000,
+        paper_avg_degree: 21.1,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Rmat { scale: 18, raw_edges: 1_750_000 },
+        seed: 115,
+    },
+    DatasetSpec {
+        name: "Soc-LiveJ",
+        paper_vertices: 3_700_000,
+        paper_edges: 41_700_000,
+        paper_avg_degree: 22.0,
+        size_class: SizeClass::Medium,
+        gen: GenSpec::Rmat { scale: 18, raw_edges: 1_900_000 },
+        seed: 116,
+    },
+    DatasetSpec {
+        name: "Com-Orkut",
+        paper_vertices: 3_000_000,
+        paper_edges: 117_000_000,
+        paper_avg_degree: 77.9,
+        size_class: SizeClass::Large,
+        gen: GenSpec::Rmat { scale: 16, raw_edges: 2_200_000 },
+        seed: 117,
+    },
+    DatasetSpec {
+        name: "Twitter",
+        paper_vertices: 39_000_000,
+        paper_edges: 1_200_000_000,
+        paper_avg_degree: 60.4,
+        size_class: SizeClass::Large,
+        gen: GenSpec::Rmat { scale: 17, raw_edges: 3_000_000 },
+        seed: 118,
+    },
+    DatasetSpec {
+        name: "Com-Friendster",
+        paper_vertices: 51_000_000,
+        paper_edges: 1_800_000_000,
+        paper_avg_degree: 69.0,
+        size_class: SizeClass::Large,
+        gen: GenSpec::Rmat { scale: 17, raw_edges: 3_600_000 },
+        seed: 119,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn registry_ordered_by_paper_edges() {
+        for w in TABLE2_DATASETS.windows(2) {
+            assert!(
+                w[0].paper_edges <= w[1].paper_edges,
+                "{} out of order",
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(DatasetSpec::by_name("wiki-talk").is_some());
+        assert!(DatasetSpec::by_name("Twitter").is_some());
+        assert!(DatasetSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn class_bands_match_paper_narrative() {
+        // Small = paper edge count below 2M.
+        for d in &TABLE2_DATASETS {
+            match d.size_class {
+                SizeClass::Small => assert!(d.paper_edges < 2_000_000, "{}", d.name),
+                SizeClass::Medium => assert!(
+                    (2_000_000..100_000_000).contains(&d.paper_edges),
+                    "{}",
+                    d.name
+                ),
+                SizeClass::Large => assert!(d.paper_edges >= 100_000_000, "{}", d.name),
+            }
+        }
+    }
+
+    #[test]
+    fn small_datasets_build_with_sane_stats() {
+        // Build only the quick ones in unit tests; the full sweep is an
+        // integration test.
+        for name in ["As-Caida", "P2p-Gnutella31", "Email-EuAll"] {
+            let spec = DatasetSpec::by_name(name).unwrap();
+            let g = spec.build();
+            let s = GraphStats::compute(&g);
+            assert!(s.vertices > 1000, "{name}: {} vertices", s.vertices);
+            assert!(s.edges > 10_000, "{name}: {} edges", s.edges);
+            assert!(s.avg_degree > 1.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let spec = DatasetSpec::by_name("As-Caida").unwrap();
+        assert_eq!(spec.build(), spec.build());
+    }
+
+    #[test]
+    fn roadnet_stand_in_is_low_degree() {
+        let spec = DatasetSpec::by_name("RoadNet-CA").unwrap();
+        let s = GraphStats::compute(&spec.build());
+        assert!(s.avg_degree < 4.0, "avg degree {}", s.avg_degree);
+        assert!(s.max_degree <= 8);
+    }
+}

@@ -1,0 +1,15 @@
+//! Deterministic synthetic graph generators used to build the Table II
+//! stand-ins. All take an explicit seed and return a *raw* edge list
+//! (cleaning deduplicates and compacts).
+
+mod ba;
+mod er;
+mod grid;
+mod rmat;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use er::erdos_renyi;
+pub use grid::road_grid;
+pub use rmat::rmat;
+pub use ws::watts_strogatz;

@@ -1,0 +1,101 @@
+//! Binary edge-list format: magic, little-endian `u64` edge count, then
+//! `(u32, u32)` pairs. This is the fast interchange format the framework
+//! feeds to implementations that want pre-parsed input.
+
+use std::io::{self, Read, Write};
+
+use crate::types::EdgeList;
+
+/// File magic for binary edge lists.
+pub const BINARY_MAGIC: &[u8; 8] = b"TCBEDGE1";
+
+/// Write the binary format.
+pub fn write_binary_edges<W: Write>(mut w: W, edges: &EdgeList) -> io::Result<()> {
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(edges.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(edges.len() * 8);
+    for &(u, v) in &edges.edges {
+        buf.extend_from_slice(&u.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+/// Read the binary format, validating magic and length.
+pub fn read_binary_edges<R: Read>(mut r: R) -> io::Result<EdgeList> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a tc-compare binary edge list (bad magic)",
+        ));
+    }
+    let mut count_bytes = [0u8; 8];
+    r.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes) as usize;
+    let mut payload = vec![0u8; count * 8];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; 1];
+    if r.read(&mut trailer)? != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after declared edge count",
+        ));
+    }
+    let edges = payload
+        .chunks_exact(8)
+        .map(|c| {
+            (
+                u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            )
+        })
+        .collect();
+    Ok(EdgeList::new(edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = EdgeList::new(vec![(0, u32::MAX), (7, 7), (123456, 654321)]);
+        let mut bytes = Vec::new();
+        write_binary_edges(&mut bytes, &e).unwrap();
+        assert_eq!(read_binary_edges(&bytes[..]).unwrap(), e);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let e = EdgeList::default();
+        let mut bytes = Vec::new();
+        write_binary_edges(&mut bytes, &e).unwrap();
+        assert_eq!(read_binary_edges(&bytes[..]).unwrap(), e);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_binary_edges(&b"NOTMAGIC\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let e = EdgeList::new(vec![(1, 2), (3, 4)]);
+        let mut bytes = Vec::new();
+        write_binary_edges(&mut bytes, &e).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(read_binary_edges(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let e = EdgeList::new(vec![(1, 2)]);
+        let mut bytes = Vec::new();
+        write_binary_edges(&mut bytes, &e).unwrap();
+        bytes.push(0);
+        assert!(read_binary_edges(&bytes[..]).is_err());
+    }
+}

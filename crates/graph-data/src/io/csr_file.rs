@@ -1,0 +1,102 @@
+//! Binary CSR format: magic, `u32` vertex count, `u64` target count, the
+//! offsets array, then the targets array (all little-endian). Several of
+//! the published implementations load CSRs directly; the framework
+//! converts once and reuses.
+
+use std::io::{self, Read, Write};
+
+use crate::types::Csr;
+
+/// File magic for binary CSR files.
+pub const CSR_MAGIC: &[u8; 8] = b"TCCSRv01";
+
+/// Write a CSR.
+pub fn write_csr<W: Write>(mut w: W, csr: &Csr) -> io::Result<()> {
+    w.write_all(CSR_MAGIC)?;
+    w.write_all(&csr.num_vertices().to_le_bytes())?;
+    w.write_all(&csr.num_entries().to_le_bytes())?;
+    let mut buf = Vec::with_capacity((csr.offsets().len() + csr.targets().len()) * 4);
+    for &x in csr.offsets() {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    for &x in csr.targets() {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+/// Read a CSR, validating structure via [`Csr::from_parts`].
+pub fn read_csr<R: Read>(mut r: R) -> io::Result<Csr> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != CSR_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a tc-compare CSR file (bad magic)",
+        ));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let n = u32::from_le_bytes(b4) as usize;
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8) as usize;
+
+    let mut read_u32s = |count: usize| -> io::Result<Vec<u32>> {
+        let mut bytes = vec![0u8; count * 4];
+        r.read_exact(&mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    };
+    let offsets = read_u32s(n + 1)?;
+    let targets = read_u32s(m)?;
+    if offsets.first() != Some(&0)
+        || offsets.last().map(|&o| o as usize) != Some(m)
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "inconsistent CSR offsets",
+        ));
+    }
+    Ok(Csr::from_parts(offsets, targets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let csr = Csr::from_adjacency(&[vec![1, 2], vec![2], vec![], vec![0]]);
+        let mut bytes = Vec::new();
+        write_csr(&mut bytes, &csr).unwrap();
+        assert_eq!(read_csr(&bytes[..]).unwrap(), csr);
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let csr = Csr::from_adjacency(&[]);
+        let mut bytes = Vec::new();
+        write_csr(&mut bytes, &csr).unwrap();
+        let back = read_csr(&bytes[..]).unwrap();
+        assert_eq!(back.num_vertices(), 0);
+    }
+
+    #[test]
+    fn corrupt_offsets_rejected() {
+        let csr = Csr::from_adjacency(&[vec![1], vec![0]]);
+        let mut bytes = Vec::new();
+        write_csr(&mut bytes, &csr).unwrap();
+        // Corrupt the first offset (byte 20 = after magic + n + m).
+        bytes[20] = 9;
+        assert!(read_csr(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(read_csr(&b"XXXXXXXX\0\0\0\0\0\0\0\0\0\0\0\0"[..]).is_err());
+    }
+}

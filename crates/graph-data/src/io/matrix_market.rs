@@ -1,0 +1,143 @@
+//! MatrixMarket coordinate format (`%%MatrixMarket matrix coordinate
+//! ... `) — the interchange format of the GraphChallenge / SuiteSparse
+//! corpora several of the compared implementations ship loaders for.
+//! Only the structural pattern is used; values on weighted entries are
+//! ignored. MatrixMarket is 1-indexed; IDs are shifted down on read and
+//! up on write.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::types::EdgeList;
+
+/// Leading bytes of a MatrixMarket file.
+pub const MM_MAGIC: &[u8] = b"%%MatrixMarket";
+
+/// Parse a coordinate-format MatrixMarket graph.
+pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<EdgeList> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+
+    // Header line.
+    reader.read_line(&mut line)?;
+    let header = line.trim().to_ascii_lowercase();
+    if !header.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported MatrixMarket header: {}", line.trim()),
+        ));
+    }
+
+    // Skip comments; then the size line.
+    let (mut declared_entries, mut read_size) = (0usize, false);
+    let mut edges = Vec::new();
+    let mut line_no = 1usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        if !read_size {
+            // rows cols entries
+            let _rows: u64 = parse(it.next(), line_no, t)?;
+            let _cols: u64 = parse(it.next(), line_no, t)?;
+            declared_entries = parse(it.next(), line_no, t)? as usize;
+            read_size = true;
+            edges.reserve(declared_entries);
+            continue;
+        }
+        let i: u64 = parse(it.next(), line_no, t)?;
+        let j: u64 = parse(it.next(), line_no, t)?;
+        if i == 0 || j == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("MatrixMarket is 1-indexed; got a zero index on line {line_no}"),
+            ));
+        }
+        edges.push(((i - 1) as u32, (j - 1) as u32));
+    }
+    if read_size && edges.len() != declared_entries {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "MatrixMarket declared {declared_entries} entries but {} were present",
+                edges.len()
+            ),
+        ));
+    }
+    Ok(EdgeList::new(edges))
+}
+
+fn parse(tok: Option<&str>, line_no: usize, line: &str) -> io::Result<u64> {
+    tok.and_then(|t| t.parse().ok()).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed MatrixMarket line {line_no}: {line:?}"),
+        )
+    })
+}
+
+/// Write a pattern-only general coordinate MatrixMarket file.
+pub fn write_matrix_market<W: Write>(writer: W, edges: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(w, "% written by tc-compare")?;
+    let n = edges.id_space().max(1);
+    writeln!(w, "{n} {n} {}", edges.len())?;
+    for &(u, v) in &edges.edges {
+        writeln!(w, "{} {}", u + 1, v + 1)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pattern_file() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % a comment\n\
+                    4 4 3\n\
+                    1 2\n\
+                    2 3\n\
+                    4 1\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(e.edges, vec![(0, 1), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn tolerates_values_on_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 1\n\
+                    1 2 3.25\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(e.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn rejects_wrong_header_and_zero_index() {
+        assert!(read_matrix_market("%%MatrixMarket matrix array\n".as_bytes()).is_err());
+        let zero = "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n0 1\n";
+        assert!(read_matrix_market(zero.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = EdgeList::new(vec![(0, 5), (3, 3), (7, 1)]);
+        let mut bytes = Vec::new();
+        write_matrix_market(&mut bytes, &e).unwrap();
+        assert_eq!(read_matrix_market(&bytes[..]).unwrap(), e);
+    }
+}

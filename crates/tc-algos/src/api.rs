@@ -1,0 +1,81 @@
+//! The framework-facing algorithm interface: every counter — the eight
+//! published ones here and GroupTC in `tc-core` — implements
+//! [`TcAlgorithm`].
+
+use gpu_sim::{Device, DeviceMem, LaunchStats, SimError};
+use graph_data::Orientation;
+
+use crate::device_graph::DeviceGraph;
+
+/// How an implementation generates the neighbour lists (Section II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IteratorKind {
+    Vertex,
+    Edge,
+}
+
+/// Which intersection primitive the implementation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intersection {
+    Merge,
+    BinSearch,
+    Hash,
+    BitMap,
+    /// Fox switches between merge and binary search per edge.
+    MergeOrBinSearch,
+}
+
+/// Whether one thread processes a whole edge/vertex (coarse) or several
+/// threads cooperate on one (fine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    Coarse,
+    Fine,
+}
+
+/// The Table I row describing an implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoMeta {
+    pub name: &'static str,
+    pub reference: &'static str,
+    pub year: u16,
+    pub iterator: IteratorKind,
+    pub intersection: Intersection,
+    pub granularity: Granularity,
+}
+
+/// Result of a full triangle-count run: the exact count plus the merged
+/// launch statistics of every kernel the implementation issued.
+#[derive(Debug, Clone, Copy)]
+pub struct TcOutput {
+    pub triangles: u64,
+    pub stats: LaunchStats,
+}
+
+/// A GPU triangle-counting implementation under test.
+pub trait TcAlgorithm: Sync {
+    /// Short display name (Table I / figure legend).
+    fn name(&self) -> &'static str {
+        self.meta().name
+    }
+
+    /// Taxonomy row (Table I).
+    fn meta(&self) -> AlgoMeta;
+
+    /// The orientation this implementation preprocesses with. Defaults to
+    /// degree-ascending relabeling (what the optimized codes use).
+    fn preferred_orientation(&self) -> Orientation {
+        Orientation::DegreeAsc
+    }
+
+    /// Count the triangles of an uploaded DAG. Implementations allocate
+    /// their own auxiliary device structures from `mem` (and free them),
+    /// so out-of-memory failures surface exactly like the red crosses in
+    /// Figure 11.
+    fn count(
+        &self,
+        dev: &Device,
+        mem: &mut DeviceMem,
+        g: &DeviceGraph,
+    ) -> Result<TcOutput, SimError>;
+}

@@ -1,0 +1,40 @@
+//! # tc-algos — the eight published GPU ITC algorithms
+//!
+//! Re-implementations, against the [`gpu_sim`] substrate, of every
+//! intersection-based triangle-counting implementation the paper
+//! evaluates (Table I):
+//!
+//! | Module      | Name    | Year | Iterator | Intersection     | Granularity |
+//! |-------------|---------|------|----------|------------------|-------------|
+//! | [`green`]   | Green   | 2014 | edge     | Merge (merge path) | fine      |
+//! | [`polak`]   | Polak   | 2016 | edge     | Merge            | coarse      |
+//! | [`bisson`]  | Bisson  | 2017 | vertex   | BitMap           | coarse      |
+//! | [`tricore`] | TriCore | 2018 | edge     | Binary search    | fine        |
+//! | [`fox`]     | Fox     | 2018 | edge     | Merge/Bin-search | fine        |
+//! | [`hu`]      | Hu      | 2019 | vertex   | Binary search    | fine        |
+//! | [`hindex`]  | H-INDEX | 2019 | edge     | Hash             | fine        |
+//! | [`trust`]   | TRUST   | 2021 | vertex   | Hash             | fine        |
+//!
+//! Each implements [`TcAlgorithm`]; [`registry::published_algorithms`]
+//! returns them all. The paper's own GroupTC lives in `tc-core`.
+
+pub mod api;
+pub mod bisson;
+pub mod device_graph;
+pub mod fox;
+pub mod green;
+pub mod hindex;
+pub mod hu;
+pub mod polak;
+pub mod registry;
+pub mod tricore;
+pub mod trust;
+pub mod util;
+
+// Exposed (not cfg(test)-gated) so `tc-core`'s GroupTC tests and the
+// workspace integration tests reuse the same fixtures.
+pub mod testutil;
+
+pub use api::{AlgoMeta, Granularity, Intersection, IteratorKind, TcAlgorithm, TcOutput};
+pub use device_graph::DeviceGraph;
+pub use registry::published_algorithms;

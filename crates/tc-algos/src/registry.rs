@@ -1,0 +1,49 @@
+//! Registry of the eight published implementations, in Table I order
+//! (chronological).
+
+use crate::api::TcAlgorithm;
+use crate::{bisson::Bisson, fox::Fox, green::Green, hindex::HIndex, hu::Hu, polak::Polak,
+            tricore::TriCore, trust::Trust};
+
+/// All eight published implementations the paper evaluates,
+/// chronologically as in Table I. (GroupTC, the paper's own algorithm,
+/// is added by `tc-core`'s registry.)
+pub fn published_algorithms() -> Vec<Box<dyn TcAlgorithm>> {
+    vec![
+        Box::new(Green),
+        Box::new(Polak),
+        Box::new(Bisson),
+        Box::new(TriCore),
+        Box::new(Fox::default()),
+        Box::new(Hu),
+        Box::new(HIndex),
+        Box::new(Trust),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1() {
+        let algos = published_algorithms();
+        assert_eq!(algos.len(), 8);
+        let years: Vec<u16> = algos.iter().map(|a| a.meta().year).collect();
+        assert_eq!(years, vec![2014, 2016, 2017, 2018, 2018, 2019, 2019, 2021]);
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Green", "Polak", "Bisson", "TriCore", "Fox", "Hu", "H-INDEX", "TRUST"]
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let algos = published_algorithms();
+        let mut names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

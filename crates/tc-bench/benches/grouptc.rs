@@ -1,0 +1,68 @@
+//! Criterion benches behind Figure 15 (GroupTC vs Polak vs TRUST) and
+//! the GroupTC ablation study (each Section V optimization toggled,
+//! chunk-size sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpu_sim::{Device, DeviceMem};
+use graph_data::{clean_edges, gen, orient, DagGraph, Orientation};
+use tc_algos::api::TcAlgorithm;
+use tc_algos::device_graph::DeviceGraph;
+use tc_algos::{polak::Polak, trust::Trust};
+use tc_core::{GroupTc, GroupTcConfig};
+
+fn fixture() -> (Device, DagGraph) {
+    let raw = gen::rmat(13, 40_000, 0.57, 0.19, 0.19, 0.05, 31);
+    let (g, _) = clean_edges(&raw);
+    (Device::v100(), orient(&g, Orientation::DegreeAsc))
+}
+
+fn run(dev: &Device, dag: &DagGraph, algo: &dyn TcAlgorithm) -> u64 {
+    let mut mem = DeviceMem::new(dev);
+    let dg = DeviceGraph::upload(dag, &mut mem).expect("upload");
+    algo.count(dev, &mut mem, &dg).expect("count").triangles
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let (dev, dag) = fixture();
+    let contenders: Vec<(&str, Box<dyn TcAlgorithm>)> = vec![
+        ("Polak", Box::new(Polak)),
+        ("TRUST", Box::new(Trust)),
+        ("GroupTC", Box::new(GroupTc::default())),
+    ];
+    let mut group = c.benchmark_group("fig15_grouptc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, algo) in &contenders {
+        group.bench_function(*name, |b| b.iter(|| run(&dev, &dag, algo.as_ref())));
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (dev, dag) = fixture();
+    let variants: Vec<(&str, GroupTc)> = vec![
+        ("full", GroupTc::default()),
+        ("no-partial-2hop", GroupTc::without_partial_two_hop()),
+        ("no-resume", GroupTc::without_resume_offset()),
+        ("no-flip", GroupTc::without_flip_tables()),
+    ];
+    let mut group = c.benchmark_group("grouptc_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, algo) in &variants {
+        group.bench_function(*name, |b| b.iter(|| run(&dev, &dag, algo)));
+    }
+    for chunk in [64u32, 256, 1024] {
+        let algo = GroupTc::new(GroupTcConfig { chunk_size: chunk, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("chunk", chunk), &algo, |b, algo| {
+            b.iter(|| run(&dev, &dag, algo))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench behind Figures 11/12/13: every algorithm end-to-end
+//! on a small and a mid-sized power-law fixture. Wall time here measures
+//! the simulation, but since the simulator executes the kernels' real
+//! access patterns, the relative ordering tracks the modelled kernel
+//! cycles the figure binaries report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpu_sim::{Device, DeviceMem};
+use graph_data::{clean_edges, gen, orient, DagGraph, Orientation};
+use tc_algos::device_graph::DeviceGraph;
+use tc_core::framework::registry::all_algorithms;
+
+fn fixture(scale: u32, edges: usize, seed: u64) -> (Device, DagGraph) {
+    let raw = gen::rmat(scale, edges, 0.57, 0.19, 0.19, 0.05, seed);
+    let (g, _) = clean_edges(&raw);
+    (Device::v100(), orient(&g, Orientation::DegreeAsc))
+}
+
+fn bench_all_kernels(c: &mut Criterion) {
+    let fixtures = [
+        ("small-12k", fixture(12, 12_000, 21)),
+        ("mid-60k", fixture(14, 60_000, 22)),
+    ];
+    let mut group = c.benchmark_group("fig11_runtime");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (fname, (dev, dag)) in &fixtures {
+        for algo in all_algorithms() {
+            // Each algorithm may prefer a different orientation, but the
+            // fixture is power-law either way; reuse the DegreeAsc DAG.
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), fname),
+                &(dev, dag),
+                |b, (dev, dag)| {
+                    b.iter(|| {
+                        let mut mem = DeviceMem::new(dev);
+                        let dg = DeviceGraph::upload(dag, &mut mem).expect("upload");
+                        algo.count(dev, &mut mem, &dg).expect("count").triangles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_kernels);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the substrate: the four intersection primitives
+//! of Section II-B (backing the Table I taxonomy), the CPU reference
+//! counters (sequential vs rayon), the generators, and the data
+//! pipeline (clean + orient) — the framework pieces every experiment
+//! passes through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graph_data::{clean_edges, cpu_ref, gen, orient, Orientation};
+
+fn sorted_list(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..(n as u32 * 8))).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection_primitives");
+    for n in [64usize, 1024, 16384] {
+        let a = sorted_list(n, 1);
+        let b = sorted_list(n, 2);
+        let id_space = n as u32 * 8;
+        group.bench_with_input(BenchmarkId::new("merge", n), &n, |bch, _| {
+            bch.iter(|| cpu_ref::intersect_merge(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("binsearch", n), &n, |bch, _| {
+            bch.iter(|| cpu_ref::intersect_binsearch(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("hash", n), &n, |bch, _| {
+            bch.iter(|| cpu_ref::intersect_hash(&a, &b, 32))
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap", n), &n, |bch, _| {
+            bch.iter(|| cpu_ref::intersect_bitmap(&a, &b, id_space))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_references(c: &mut Criterion) {
+    let raw = gen::rmat(15, 200_000, 0.57, 0.19, 0.19, 0.05, 3);
+    let (g, _) = clean_edges(&raw);
+    let dag = orient(&g, Orientation::DegreeAsc);
+    let mut group = c.benchmark_group("cpu_reference");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("forward_merge", |b| b.iter(|| cpu_ref::forward_merge(&dag)));
+    group.bench_function("forward_merge_parallel", |b| {
+        b.iter(|| cpu_ref::forward_merge_parallel(&dag))
+    });
+    group.bench_function("binsearch_count", |b| b.iter(|| cpu_ref::binsearch_count(&dag)));
+    group.bench_function("hash_count", |b| b.iter(|| cpu_ref::hash_count(&dag)));
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("rmat_200k", |b| {
+        b.iter(|| gen::rmat(15, 200_000, 0.57, 0.19, 0.19, 0.05, 4))
+    });
+    group.bench_function("ba_30k", |b| b.iter(|| gen::barabasi_albert(10_000, 3, 0.5, 5)));
+    let raw = gen::rmat(15, 200_000, 0.57, 0.19, 0.19, 0.05, 6);
+    group.bench_function("clean_200k", |b| b.iter(|| clean_edges(&raw)));
+    let (g, _) = clean_edges(&raw);
+    group.bench_function("orient_degree_asc", |b| b.iter(|| orient(&g, Orientation::DegreeAsc)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersections, bench_cpu_references, bench_pipeline);
+criterion_main!(benches);

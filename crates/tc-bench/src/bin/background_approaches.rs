@@ -1,0 +1,59 @@
+//! Section II background experiment (Figure 1 / Wang et al. comparison):
+//! the intersection approach vs the matrix-multiplication and
+//! subgraph-matching baselines, on the small datasets — showing why the
+//! paper (and the field) focuses on intersection: the other two do
+//! unavoidable redundant work.
+
+use std::time::Instant;
+
+use graph_data::{cpu_ref, orient, Orientation};
+use tc_core::framework::report::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let datasets = if args.is_empty() {
+        tc_bench::datasets_from_args(&["--small".to_string()]).unwrap()
+    } else {
+        tc_bench::datasets_from_args(&args).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+
+    let mut t = Table::new(&[
+        "dataset",
+        "triangles",
+        "intersection ms",
+        "matmul ms",
+        "subgraph ms",
+    ]);
+    for spec in &datasets {
+        tc_bench::eprint_progress(&format!("running {}", spec.name));
+        let g = spec.build();
+        let dag = orient(&g, Orientation::DegreeAsc);
+
+        let t0 = Instant::now();
+        let itc = cpu_ref::forward_merge(&dag);
+        let itc_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let mm = cpu_ref::matmul_count(&g);
+        let mm_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let t2 = Instant::now();
+        let sg = cpu_ref::subgraph_match(&g);
+        let sg_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(itc, mm, "{}: approaches disagree", spec.name);
+        assert_eq!(itc, sg, "{}: approaches disagree", spec.name);
+        t.row(vec![
+            spec.name.to_string(),
+            itc.to_string(),
+            format!("{itc_ms:.1}"),
+            format!("{mm_ms:.1}"),
+            format!("{sg_ms:.1}"),
+        ]);
+    }
+    println!("SECTION II BACKGROUND: three TC approaches (CPU, same counts)");
+    println!("{}", t.render());
+}

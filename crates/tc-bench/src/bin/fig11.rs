@@ -1,0 +1,33 @@
+//! Regenerates Figure 11: total running time of every ITC implementation
+//! on every dataset (datasets ordered by increasing size), with the
+//! average-degree series the paper overlays. Failed runs print as `x`
+//! (the paper's red crosses).
+
+use graph_data::GraphStats;
+use tc_core::framework::report::{extract, MatrixView};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let datasets = tc_bench::datasets_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let records = tc_bench::full_sweep(&datasets);
+    let view = MatrixView::new(&records);
+    println!(
+        "{}",
+        view.render_figure(
+            "FIGURE 11: total running time (modelled ms on simulated V100)",
+            extract::time_ms
+        )
+    );
+
+    // The avg-degree overlay series.
+    print!("avg degree ");
+    for spec in &datasets {
+        let s = GraphStats::compute(&spec.build());
+        print!(" {}={:.1}", spec.name, s.avg_degree);
+    }
+    println!();
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 13(a): warp execution efficiency (%) of every
+//! implementation on every dataset.
+
+use tc_core::framework::report::{extract, MatrixView};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let datasets = tc_bench::datasets_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let records = tc_bench::full_sweep(&datasets);
+    let view = MatrixView::new(&records);
+    println!(
+        "{}",
+        view.render_figure(
+            "FIGURE 13(a): warp_execution_efficiency (%)",
+            extract::warp_efficiency
+        )
+    );
+}

@@ -1,0 +1,8 @@
+//! The unified testing framework (Section IV): algorithm registry,
+//! dataset preparation, the evaluation runner, and report formatting.
+
+pub mod claims;
+pub mod csv;
+pub mod registry;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,57 @@
+//! Registry of every algorithm under evaluation: the eight published
+//! implementations (Table I) plus GroupTC.
+
+use tc_algos::api::TcAlgorithm;
+use tc_algos::published_algorithms;
+
+use crate::grouptc::GroupTc;
+use crate::grouptc_hybrid::GroupTcHybrid;
+
+/// All nine counters: Table I order, GroupTC last (as in Figure 15).
+pub fn all_algorithms() -> Vec<Box<dyn TcAlgorithm>> {
+    let mut algos = published_algorithms();
+    algos.push(Box::new(GroupTc::default()));
+    algos
+}
+
+/// The nine evaluated counters plus GroupTC-H, this reproduction's
+/// implementation of the paper's Section VI future work.
+pub fn extended_algorithms() -> Vec<Box<dyn TcAlgorithm>> {
+    let mut algos = all_algorithms();
+    algos.push(Box::new(GroupTcHybrid::default()));
+    algos
+}
+
+/// Look an algorithm up by (case-insensitive) name.
+pub fn algorithm_by_name(name: &str) -> Option<Box<dyn TcAlgorithm>> {
+    all_algorithms()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_algorithms_grouptc_last() {
+        let algos = all_algorithms();
+        assert_eq!(algos.len(), 9);
+        assert_eq!(algos.last().unwrap().name(), "GroupTC");
+    }
+
+    #[test]
+    fn extended_registry_appends_the_hybrid() {
+        let algos = extended_algorithms();
+        assert_eq!(algos.len(), 10);
+        assert_eq!(algos.last().unwrap().name(), "GroupTC-H");
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(algorithm_by_name("grouptc").is_some());
+        assert!(algorithm_by_name("TRUST").is_some());
+        assert!(algorithm_by_name("polak").is_some());
+        assert!(algorithm_by_name("cuGraph").is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! The evaluation runner: prepares a dataset once, then runs any set of
+//! algorithms on it — each on a fresh device memory image, under its own
+//! preferred orientation — verifying every GPU count against the CPU
+//! reference. This produces the raw matrix behind Figures 11, 12, 13
+//! and 15.
+
+use std::collections::HashMap;
+
+use gpu_sim::{Device, ProfileCounters, SimError};
+use graph_data::{cpu_ref, orient, DagGraph, DatasetSpec, GraphStats, Orientation, UndirGraph};
+use tc_algos::api::TcAlgorithm;
+use tc_algos::device_graph::DeviceGraph;
+
+/// A dataset after the preparation pipeline: generated (or loaded),
+/// cleaned, with statistics, ground truth, and oriented variants cached.
+pub struct PreparedDataset {
+    pub spec: DatasetSpec,
+    pub graph: UndirGraph,
+    pub stats: GraphStats,
+    /// Exact triangle count from the parallel CPU reference.
+    pub ground_truth: u64,
+    oriented: HashMap<Orientation, DagGraph>,
+}
+
+impl PreparedDataset {
+    /// Run the pipeline for one Table II dataset.
+    pub fn prepare(spec: &DatasetSpec) -> Self {
+        let graph = spec.build();
+        Self::from_graph(*spec, graph)
+    }
+
+    /// Wrap an already-cleaned graph (used by the examples and tests).
+    pub fn from_graph(spec: DatasetSpec, graph: UndirGraph) -> Self {
+        let stats = GraphStats::compute(&graph);
+        let reference = orient(&graph, Orientation::DegreeAsc);
+        let ground_truth = cpu_ref::forward_merge_parallel(&reference);
+        let mut oriented = HashMap::new();
+        oriented.insert(Orientation::DegreeAsc, reference);
+        PreparedDataset {
+            spec,
+            graph,
+            stats,
+            ground_truth,
+            oriented,
+        }
+    }
+
+    /// The DAG under `o`, orienting lazily on first use.
+    pub fn dag(&mut self, o: Orientation) -> &DagGraph {
+        self.oriented.entry(o).or_insert_with(|| orient(&self.graph, o))
+    }
+}
+
+/// How one (algorithm, dataset) cell ended.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    Ok {
+        triangles: u64,
+        /// Modelled kernel time in device cycles (the Figure 11/15
+        /// y-axis).
+        kernel_cycles: u64,
+        counters: ProfileCounters,
+        /// Whether the count matched the CPU reference.
+        verified: bool,
+    },
+    /// The implementation failed to run — a red cross in Figure 11.
+    Failed(SimError),
+}
+
+/// One cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    pub algorithm: String,
+    pub dataset: &'static str,
+    pub outcome: RunOutcome,
+}
+
+impl RunRecord {
+    pub fn kernel_cycles(&self) -> Option<u64> {
+        match &self.outcome {
+            RunOutcome::Ok { kernel_cycles, .. } => Some(*kernel_cycles),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    pub fn counters(&self) -> Option<&ProfileCounters> {
+        match &self.outcome {
+            RunOutcome::Ok { counters, .. } => Some(counters),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    pub fn is_verified(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Ok { verified: true, .. })
+    }
+}
+
+/// Run one algorithm on one prepared dataset (fresh device memory, the
+/// algorithm's preferred orientation) and verify the count.
+pub fn run_on_dataset(
+    dev: &Device,
+    algo: &dyn TcAlgorithm,
+    data: &mut PreparedDataset,
+) -> RunRecord {
+    let ground_truth = data.ground_truth;
+    let dataset = data.spec.name;
+    let dag = data.dag(algo.preferred_orientation());
+    let mut mem = gpu_sim::DeviceMem::new(dev);
+    let outcome = match DeviceGraph::upload(dag, &mut mem)
+        .and_then(|dg| algo.count(dev, &mut mem, &dg))
+    {
+        Ok(out) => RunOutcome::Ok {
+            triangles: out.triangles,
+            kernel_cycles: out.stats.kernel_cycles,
+            counters: out.stats.counters,
+            verified: out.triangles == ground_truth,
+        },
+        Err(e) => RunOutcome::Failed(e),
+    };
+    RunRecord {
+        algorithm: algo.name().to_string(),
+        dataset,
+        outcome,
+    }
+}
+
+/// The full evaluation sweep: every algorithm on every dataset, in the
+/// given orders. Returns one record per cell.
+pub fn run_matrix(
+    dev: &Device,
+    algos: &[Box<dyn TcAlgorithm>],
+    datasets: &[DatasetSpec],
+) -> Vec<RunRecord> {
+    let mut records = Vec::with_capacity(algos.len() * datasets.len());
+    for spec in datasets {
+        let mut data = PreparedDataset::prepare(spec);
+        for algo in algos {
+            records.push(run_on_dataset(dev, algo.as_ref(), &mut data));
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::registry::all_algorithms;
+    use graph_data::datasets::{GenSpec, SizeClass};
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "tiny-rmat",
+            paper_vertices: 0,
+            paper_edges: 0,
+            paper_avg_degree: 0.0,
+            size_class: SizeClass::Small,
+            gen: GenSpec::Rmat { scale: 10, raw_edges: 8000 },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_nine_algorithms_verify_on_tiny_dataset() {
+        let dev = Device::v100();
+        let algos = all_algorithms();
+        let mut data = PreparedDataset::prepare(&tiny_spec());
+        assert!(data.ground_truth > 0, "fixture should contain triangles");
+        for algo in &algos {
+            let rec = run_on_dataset(&dev, algo.as_ref(), &mut data);
+            match &rec.outcome {
+                RunOutcome::Ok { verified, triangles, .. } => {
+                    assert!(
+                        verified,
+                        "{}: counted {} expected {}",
+                        rec.algorithm, triangles, data.ground_truth
+                    );
+                }
+                RunOutcome::Failed(e) => panic!("{} failed: {e}", rec.algorithm),
+            }
+        }
+    }
+
+    #[test]
+    fn run_matrix_shape() {
+        let dev = Device::v100();
+        let algos = all_algorithms();
+        let specs = [tiny_spec()];
+        let records = run_matrix(&dev, &algos, &specs);
+        assert_eq!(records.len(), algos.len());
+        assert!(records.iter().all(|r| r.is_verified()));
+        assert!(records.iter().all(|r| r.kernel_cycles().unwrap() > 0));
+        assert!(records.iter().all(|r| r.counters().is_some()));
+    }
+
+    #[test]
+    fn oriented_variants_cached() {
+        let mut data = PreparedDataset::prepare(&tiny_spec());
+        let e1 = data.dag(Orientation::ById).num_edges();
+        let e2 = data.dag(Orientation::DegreeAsc).num_edges();
+        assert_eq!(e1, e2);
+    }
+}

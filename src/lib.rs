@@ -1,0 +1,38 @@
+//! # tc-compare — facade crate
+//!
+//! Re-exports the whole reproduction of *"A Comparative Study of
+//! Intersection-Based Triangle Counting Algorithms on GPUs"* behind one
+//! dependency:
+//!
+//! * [`sim`] — the deterministic SIMT GPU simulator substrate.
+//! * [`graph`] — graph formats, cleaning, generators, dataset registry and
+//!   CPU reference triangle counters.
+//! * [`algos`] — the eight published GPU ITC algorithms (Polak, Green,
+//!   Bisson, TriCore, Fox, Hu, H-INDEX, TRUST).
+//! * [`core`] — the unified evaluation framework and the paper's new
+//!   GroupTC algorithm.
+//!
+//! See `examples/quickstart.rs` for a five-line triangle count.
+//!
+//! ```
+//! use tc_compare::algos::{DeviceGraph, TcAlgorithm};
+//! use tc_compare::core::GroupTc;
+//! use tc_compare::graph::{clean_edges, orient, EdgeList, Orientation};
+//! use tc_compare::sim::{Device, DeviceMem};
+//!
+//! let raw = EdgeList::new(vec![(0, 1), (1, 2), (0, 2), (2, 3)]);
+//! let (graph, _) = clean_edges(&raw);
+//! let dag = orient(&graph, Orientation::DegreeAsc);
+//!
+//! let device = Device::v100();
+//! let mut mem = DeviceMem::new(&device);
+//! let on_device = DeviceGraph::upload(&dag, &mut mem)?;
+//! let out = GroupTc::default().count(&device, &mut mem, &on_device)?;
+//! assert_eq!(out.triangles, 1);
+//! # Ok::<(), tc_compare::sim::SimError>(())
+//! ```
+
+pub use gpu_sim as sim;
+pub use graph_data as graph;
+pub use tc_algos as algos;
+pub use tc_core as core;

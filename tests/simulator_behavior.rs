@@ -1,0 +1,187 @@
+//! Integration tests of the simulator's modelled hardware effects as
+//! observed *through* the public API — the behaviours the paper's
+//! profiling analysis depends on.
+
+use tc_compare::sim::{Device, DeviceMem, KernelConfig};
+
+#[test]
+fn coalesced_loads_beat_scattered_loads() {
+    let dev = Device::v100();
+    let mut mem = DeviceMem::new(&dev);
+    let data = mem.alloc_zeroed(32 * 1024, "data").unwrap();
+
+    // Coalesced: lane i reads word i.
+    let coalesced = dev
+        .launch(&mem, KernelConfig::new(1, 32), |blk| {
+            blk.phase(|lane| {
+                let i = lane.tid() as usize;
+                lane.ld_global(data, i);
+            });
+        })
+        .unwrap();
+    // Scattered: lane i reads word i * 1024.
+    let scattered = dev
+        .launch(&mem, KernelConfig::new(1, 32), |blk| {
+            blk.phase(|lane| {
+                let i = lane.tid() as usize;
+                lane.ld_global(data, i * 1024);
+            });
+        })
+        .unwrap();
+
+    assert_eq!(coalesced.counters.global_load_requests, 1);
+    assert_eq!(scattered.counters.global_load_requests, 1);
+    assert!(
+        scattered.counters.gld_transactions > 4 * coalesced.counters.gld_transactions,
+        "scattered {} vs coalesced {}",
+        scattered.counters.gld_transactions,
+        coalesced.counters.gld_transactions
+    );
+    assert!(scattered.total_block_cycles > coalesced.total_block_cycles);
+}
+
+#[test]
+fn imbalanced_lanes_depress_warp_efficiency() {
+    let dev = Device::v100();
+    let mem = DeviceMem::new(&dev);
+
+    let balanced = dev
+        .launch(&mem, KernelConfig::new(1, 32), |blk| {
+            blk.phase(|lane| lane.compute(100));
+        })
+        .unwrap();
+    let imbalanced = dev
+        .launch(&mem, KernelConfig::new(1, 32), |blk| {
+            blk.phase(|lane| {
+                // Lane i does i*8 work: classic power-law style skew.
+                let n = lane.tid() * 8;
+                lane.compute(n.max(1));
+            });
+        })
+        .unwrap();
+
+    assert!(balanced.counters.warp_execution_efficiency() > 0.99);
+    let eff = imbalanced.counters.warp_execution_efficiency();
+    assert!(eff < 0.7, "skewed lanes should stall the warp (eff {eff})");
+}
+
+#[test]
+fn sequential_scan_hits_the_l1_model() {
+    let dev = Device::v100();
+    let mut mem = DeviceMem::new(&dev);
+    let data = mem.alloc_zeroed(4096, "data").unwrap();
+
+    // One lane scanning 1024 consecutive words: 128 sectors of DRAM
+    // traffic (and 128 wavefronts), not 1024.
+    let scan = dev
+        .launch(&mem, KernelConfig::new(1, 1), |blk| {
+            blk.phase(|lane| {
+                for i in 0..1024 {
+                    lane.ld_global(data, i);
+                }
+            });
+        })
+        .unwrap();
+    assert_eq!(scan.counters.global_load_requests, 1024);
+    assert_eq!(scan.counters.gld_transactions, 1024, "one wavefront per request");
+    assert_eq!(scan.counters.dram_load_sectors, 128, "7 of 8 words hit the L1 model");
+}
+
+#[test]
+fn bandwidth_floor_binds_massively_parallel_traffic() {
+    let dev = Device::v100();
+    let mut mem = DeviceMem::new(&dev);
+    let data = mem.alloc_zeroed(1 << 20, "data").unwrap();
+
+    // 4096 blocks x 256 lanes, each loading one scattered word: traffic
+    // = ~1M sectors; compute makespan is tiny but DRAM can only deliver
+    // ~20 sectors/cycle.
+    let stats = dev
+        .launch(&mem, KernelConfig::new(4096, 256), |blk| {
+            let b = blk.block_idx();
+            blk.phase(|lane| {
+                let idx = ((lane.global_tid() as u64 * 2654435761 + b as u64) % (1 << 20)) as usize;
+                lane.ld_global(data, idx);
+            });
+        })
+        .unwrap();
+    let sectors = stats.counters.gld_transactions;
+    assert!(
+        stats.kernel_cycles >= sectors / 20,
+        "kernel {} cycles cannot beat the {}-sector DRAM floor",
+        stats.kernel_cycles,
+        sectors
+    );
+}
+
+#[test]
+fn atomics_serialize_on_hot_addresses() {
+    let dev = Device::v100();
+    let mut mem = DeviceMem::new(&dev);
+    let hot = mem.alloc_zeroed(32, "hot").unwrap();
+
+    let contended = dev
+        .launch(&mem, KernelConfig::new(1, 32), |blk| {
+            blk.phase(|lane| {
+                lane.atomic_add_global(hot, 0, 1);
+            });
+        })
+        .unwrap();
+    let spread = dev
+        .launch(&mem, KernelConfig::new(1, 32), |blk| {
+            blk.phase(|lane| {
+                lane.atomic_add_global(hot, lane.tid() as usize, 1);
+            });
+        })
+        .unwrap();
+    assert_eq!(mem.read_back(hot)[0], 32 + 1);
+    assert!(contended.total_block_cycles > spread.total_block_cycles);
+}
+
+#[test]
+fn shared_memory_values_cross_phases() {
+    let dev = Device::v100();
+    let mut mem = DeviceMem::new(&dev);
+    let out = mem.alloc_zeroed(64, "out").unwrap();
+    let cfg = KernelConfig::new(1, 64).with_shared_words(64);
+    dev.launch(&mem, cfg, |blk| {
+        blk.phase(|lane| {
+            let t = lane.tid();
+            lane.st_shared(t as usize, t * t);
+        });
+        blk.phase(|lane| {
+            // Read a *different* lane's value: only legal across the
+            // barrier.
+            let t = lane.tid() as usize;
+            let peer = (t + 13) % 64;
+            let v = lane.ld_shared(peer);
+            lane.st_global(out, t, v);
+        });
+    })
+    .unwrap();
+    let vals = mem.read_back(out);
+    for t in 0..64usize {
+        let peer = ((t + 13) % 64) as u32;
+        assert_eq!(vals[t], peer * peer);
+    }
+}
+
+#[test]
+fn occupancy_affects_kernel_time() {
+    let dev = Device::v100();
+    let mem = DeviceMem::new(&dev);
+    // Same per-block work; the 48 KB-shared variant fits 1 block/SM
+    // instead of many, so 800 blocks take more waves.
+    let work = |blk: &mut tc_compare::sim::BlockCtx| {
+        blk.phase(|lane| lane.compute(1000));
+    };
+    let dense = dev.launch(&mem, KernelConfig::new(800, 64), work).unwrap();
+    let starved = dev
+        .launch(
+            &mem,
+            KernelConfig::new(800, 64).with_shared_words(48 * 1024 / 4),
+            work,
+        )
+        .unwrap();
+    assert!(starved.kernel_cycles > 2 * dense.kernel_cycles);
+}
