@@ -95,11 +95,11 @@ impl Device {
     /// thread, block and shared-memory limits).
     pub fn resident_blocks_per_sm(&self, cfg: &KernelConfig) -> u32 {
         let by_threads = self.config.max_threads_per_sm / cfg.block_dim.max(1);
-        let by_shared = if cfg.shared_words == 0 {
-            self.config.max_blocks_per_sm
-        } else {
-            self.config.shared_mem_words / cfg.shared_words
-        };
+        let by_shared = self
+            .config
+            .shared_mem_words
+            .checked_div(cfg.shared_words)
+            .unwrap_or(self.config.max_blocks_per_sm);
         by_threads
             .min(by_shared)
             .min(self.config.max_blocks_per_sm)
@@ -163,8 +163,7 @@ impl Device {
         let total_sectors = counters.dram_load_sectors
             + counters.gst_transactions
             + counters.global_atomic_requests;
-        let bandwidth_cycles =
-            total_sectors / self.config.cost.dram_sectors_per_cycle.max(1);
+        let bandwidth_cycles = total_sectors / self.config.cost.dram_sectors_per_cycle.max(1);
         let kernel_cycles = compute_cycles.max(bandwidth_cycles);
         Ok(LaunchStats {
             kernel_cycles,
@@ -199,6 +198,59 @@ mod tests {
         // Whole 48 KB per block => 1 resident block.
         let cfg = KernelConfig::new(1, 64).with_shared_words(48 * 1024 / 4);
         assert_eq!(dev.resident_blocks_per_sm(&cfg), 1);
+    }
+
+    #[test]
+    fn lane_oob_access_fails_launch_without_panicking() {
+        let dev = Device::v100();
+        let mut mem = DeviceMem::new(&dev);
+        let buf = mem.alloc_zeroed(8, "small").unwrap();
+        // Every lane reads past the end: the launch must return a
+        // structured MemoryFault naming the buffer, not abort.
+        let err = dev
+            .launch(&mem, KernelConfig::new(2, 32), |blk| {
+                blk.phase(|lane| {
+                    lane.ld_global(buf, 8 + lane.tid() as usize);
+                });
+            })
+            .unwrap_err();
+        match err {
+            SimError::MemoryFault { buffer, index, len } => {
+                assert_eq!(buffer, "small");
+                assert_eq!(len, 8);
+                assert!(index >= 8);
+            }
+            other => panic!("expected MemoryFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_block_poisons_only_itself() {
+        let dev = Device::v100();
+        let mut mem = DeviceMem::new(&dev);
+        let buf = mem.alloc_zeroed(4, "counts").unwrap();
+        // Block 3 faults; the others each add 1 to their own counter
+        // before the launch reports the fault. The healthy blocks' work
+        // must still have landed (blocks are independent, like CUDA).
+        let err = dev
+            .launch(&mem, KernelConfig::new(4, 32), |blk| {
+                let b = blk.block_idx() as usize;
+                blk.phase(move |lane| {
+                    if lane.tid() == 0 {
+                        if lane.block_idx() == 3 {
+                            lane.ld_global(buf, 999);
+                            // Poisoned: these must all be dropped.
+                            lane.st_global(buf, 0, 77);
+                            lane.atomic_add_global(buf, 1, 77);
+                        } else {
+                            lane.atomic_add_global(buf, b, 1);
+                        }
+                    }
+                });
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::MemoryFault { .. }));
+        assert_eq!(mem.read_back(buf), vec![1, 1, 1, 0]);
     }
 
     #[test]

@@ -27,6 +27,19 @@ pub enum SimError {
     /// The kernel itself reported a failure (e.g. a hash-table overflow in
     /// an implementation with fixed-size buckets).
     KernelFault(String),
+    /// A kernel lane accessed a device buffer out of bounds. Unlike a
+    /// host-side out-of-bounds access (a harness bug, which panics), a
+    /// lane-side fault is attributed to the implementation under test:
+    /// the faulting block poisons itself, the launch returns this error,
+    /// and an evaluation sweep records the cell as failed and moves on.
+    MemoryFault {
+        /// Debug name of the buffer that was accessed.
+        buffer: String,
+        /// The out-of-bounds word index.
+        index: usize,
+        /// The buffer's length in words.
+        len: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -51,6 +64,10 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
             SimError::KernelFault(msg) => write!(f, "kernel fault: {msg}"),
+            SimError::MemoryFault { buffer, index, len } => write!(
+                f,
+                "device memory fault: `{buffer}`[{index}] out of bounds (len {len})"
+            ),
         }
     }
 }

@@ -58,7 +58,7 @@ pub struct BlockCtx<'a> {
     l1_slice: usize,
     counters: ProfileCounters,
     cycles: u64,
-    fault: Option<String>,
+    fault: Option<SimError>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -88,7 +88,15 @@ impl<'a> BlockCtx<'a> {
     where
         F: FnMut(&mut LaneCtx<'_, '_>),
     {
+        // A faulted block is poisoned: later phases are skipped entirely,
+        // like a CUDA grid after a sticky device-side error.
+        if self.fault.is_some() {
+            return;
+        }
         for tid in 0..self.block_dim {
+            if self.fault.is_some() {
+                break;
+            }
             let warp = (tid as usize / WARP_SIZE) * self.l1_slice;
             let mut lane = LaneCtx {
                 mem: self.mem,
@@ -151,7 +159,7 @@ pub struct LaneCtx<'a, 'b> {
     block_idx: u32,
     block_dim: u32,
     grid_dim: u32,
-    fault: &'b mut Option<String>,
+    fault: &'b mut Option<SimError>,
 }
 
 impl LaneCtx<'_, '_> {
@@ -200,9 +208,25 @@ impl LaneCtx<'_, '_> {
     /// Report a kernel-level failure (e.g. a fixed-capacity structure
     /// overflowed); the launch returns [`SimError::KernelFault`].
     pub fn fault(&mut self, msg: impl Into<String>) {
+        self.set_fault(SimError::KernelFault(msg.into()));
+    }
+
+    /// Record the block's first fault; later faults (often cascades from
+    /// the poisoned value 0 the first one returned) are dropped.
+    #[inline]
+    fn set_fault(&mut self, err: SimError) {
         if self.fault.is_none() {
-            *self.fault = Some(msg.into());
+            *self.fault = Some(err);
         }
+    }
+
+    /// Whether this block already faulted. Poisoned lanes stop touching
+    /// memory: loads return 0, stores and atomics are dropped, so a bad
+    /// index can't cascade into a host-visible panic before `run_block`
+    /// turns the fault into an error.
+    #[inline]
+    fn poisoned(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// Record `n` arithmetic instructions (comparisons, address math...).
@@ -227,6 +251,16 @@ impl LaneCtx<'_, '_> {
     /// transaction), modelling the spatial locality of sequential scans.
     #[inline]
     pub fn ld_global(&mut self, buf: BufId, idx: usize) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
+        let val = match self.mem.try_load(buf, idx) {
+            Ok(v) => v,
+            Err(e) => {
+                self.set_fault(e);
+                return 0;
+            }
+        };
         let addr = self.mem.addr_of(buf, idx);
         let sector = addr / crate::SECTOR_BYTES;
         let slot = (sector & self.l1_mask) as usize;
@@ -236,42 +270,91 @@ impl LaneCtx<'_, '_> {
             self.l1[slot] = sector;
             self.trace.push(Op::GLoad(addr));
         }
-        self.mem.load(buf, idx)
+        val
     }
 
     /// Store one word to global memory.
     #[inline]
     pub fn st_global(&mut self, buf: BufId, idx: usize, val: u32) {
-        self.trace.push(Op::GStore(self.mem.addr_of(buf, idx)));
-        self.mem.store(buf, idx, val);
+        if self.poisoned() {
+            return;
+        }
+        match self.mem.try_store(buf, idx, val) {
+            Ok(()) => self.trace.push(Op::GStore(self.mem.addr_of(buf, idx))),
+            Err(e) => self.set_fault(e),
+        }
     }
 
     /// `atomicAdd` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_add_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
-        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
-        self.mem.fetch_add(buf, idx, val)
+        if self.poisoned() {
+            return 0;
+        }
+        match self.mem.try_fetch_add(buf, idx, val) {
+            Ok(old) => {
+                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                old
+            }
+            Err(e) => {
+                self.set_fault(e);
+                0
+            }
+        }
     }
 
     /// `atomicOr` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_or_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
-        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
-        self.mem.fetch_or(buf, idx, val)
+        if self.poisoned() {
+            return 0;
+        }
+        match self.mem.try_fetch_or(buf, idx, val) {
+            Ok(old) => {
+                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                old
+            }
+            Err(e) => {
+                self.set_fault(e);
+                0
+            }
+        }
     }
 
     /// `atomicAnd` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_and_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
-        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
-        self.mem.fetch_and(buf, idx, val)
+        if self.poisoned() {
+            return 0;
+        }
+        match self.mem.try_fetch_and(buf, idx, val) {
+            Ok(old) => {
+                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                old
+            }
+            Err(e) => {
+                self.set_fault(e);
+                0
+            }
+        }
     }
 
     /// `atomicCAS` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_cas_global(&mut self, buf: BufId, idx: usize, cur: u32, new: u32) -> u32 {
-        self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
-        self.mem.compare_exchange(buf, idx, cur, new)
+        if self.poisoned() {
+            return 0;
+        }
+        match self.mem.try_compare_exchange(buf, idx, cur, new) {
+            Ok(old) => {
+                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                old
+            }
+            Err(e) => {
+                self.set_fault(e);
+                0
+            }
+        }
     }
 
     /// Correctness-only global add with **no traffic recorded**. This is
@@ -281,7 +364,12 @@ impl LaneCtx<'_, '_> {
     /// contribution still lands in the counter for exactness.
     #[inline]
     pub fn add_global_untraced(&mut self, buf: BufId, idx: usize, val: u32) {
-        self.mem.fetch_add(buf, idx, val);
+        if self.poisoned() {
+            return;
+        }
+        if let Err(e) = self.mem.try_fetch_add(buf, idx, val) {
+            self.set_fault(e);
+        }
     }
 
     #[inline]
@@ -298,6 +386,9 @@ impl LaneCtx<'_, '_> {
     /// simulator runs them sequentially).
     #[inline]
     pub fn ld_shared(&mut self, idx: usize) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
         self.trace.push(Op::SLoad(idx as u32));
         #[cfg(debug_assertions)]
         {
@@ -315,6 +406,9 @@ impl LaneCtx<'_, '_> {
     /// Store one word to shared memory.
     #[inline]
     pub fn st_shared(&mut self, idx: usize, val: u32) {
+        if self.poisoned() {
+            return;
+        }
         self.trace.push(Op::SStore(idx as u32));
         #[cfg(debug_assertions)]
         {
@@ -341,6 +435,9 @@ impl LaneCtx<'_, '_> {
     /// `atomicAdd` on shared memory; returns the previous value.
     #[inline]
     pub fn atomic_add_shared(&mut self, idx: usize, val: u32) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
         self.trace.push(Op::SAtomic(idx as u32));
         let w = self.shared_slot(idx);
         let old = *w;
@@ -351,6 +448,9 @@ impl LaneCtx<'_, '_> {
     /// `atomicOr` on shared memory; returns the previous value.
     #[inline]
     pub fn atomic_or_shared(&mut self, idx: usize, val: u32) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
         self.trace.push(Op::SAtomic(idx as u32));
         let w = self.shared_slot(idx);
         let old = *w;
@@ -361,6 +461,9 @@ impl LaneCtx<'_, '_> {
     /// `atomicAnd` on shared memory; returns the previous value.
     #[inline]
     pub fn atomic_and_shared(&mut self, idx: usize, val: u32) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
         self.trace.push(Op::SAtomic(idx as u32));
         let w = self.shared_slot(idx);
         let old = *w;
@@ -406,8 +509,8 @@ where
     kernel(&mut blk);
     // Flush any trailing un-barriered work (kernel end is a barrier).
     blk.barrier();
-    if let Some(msg) = blk.fault {
-        return Err(SimError::KernelFault(msg));
+    if let Some(err) = blk.fault {
+        return Err(err);
     }
     Ok((blk.cycles, blk.counters))
 }
@@ -729,7 +832,13 @@ mod tests {
         assert_eq!(c.global_load_requests, 2);
 
         let aligned = vec![
-            trace_of(&[Op::Compute, Op::Compute, Op::Compute, Op::Converge, Op::GLoad(0)]),
+            trace_of(&[
+                Op::Compute,
+                Op::Compute,
+                Op::Compute,
+                Op::Converge,
+                Op::GLoad(0),
+            ]),
             trace_of(&[Op::Compute, Op::Converge, Op::GLoad(4)]),
         ];
         let (_, c) = replay_warp(&aligned, &cost);

@@ -9,6 +9,9 @@ pub struct BufId(pub(crate) usize);
 struct Buffer {
     /// Byte address of the first word in the flat device address space.
     base: u64,
+    /// Words charged against device capacity: the requested length rounded
+    /// up to the 256-byte allocation granularity, like `cudaMalloc`.
+    padded_words: u64,
     data: Vec<AtomicU32>,
     name: String,
 }
@@ -25,6 +28,10 @@ pub struct DeviceMem {
     capacity_words: u64,
     allocated_words: u64,
     next_base: u64,
+    /// Freed address-space extents `(base_bytes, size_bytes)`, sorted by
+    /// base and coalesced; allocations reuse them first-fit before
+    /// bumping `next_base`.
+    free_extents: Vec<(u64, u64)>,
 }
 
 /// Buffers are aligned to 256 bytes like `cudaMalloc` allocations, so a
@@ -38,6 +45,7 @@ impl DeviceMem {
             capacity_words: device.config().global_mem_words,
             allocated_words: 0,
             next_base: 0,
+            free_extents: Vec::new(),
         }
     }
 
@@ -53,18 +61,42 @@ impl DeviceMem {
 
     fn alloc_inner(&mut self, len: usize, name: &str) -> Result<BufId, SimError> {
         let words = len as u64;
-        if words > self.available_words() {
+        // Like `cudaMalloc`, every allocation occupies a 256-byte-aligned
+        // extent, and the alignment padding counts against capacity too.
+        let padded_bytes = (words * 4).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        let padded_words = padded_bytes / 4;
+        if padded_words > self.available_words() {
             return Err(SimError::OutOfMemory {
                 what: name.to_string(),
                 requested_words: words,
                 available_words: self.available_words(),
             });
         }
-        let base = self.next_base;
-        self.next_base = (base + words * 4).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
-        self.allocated_words += words;
+        // First-fit into a freed extent, else bump the high-water mark.
+        let base = match self
+            .free_extents
+            .iter()
+            .position(|&(_, size)| size >= padded_bytes)
+        {
+            Some(i) => {
+                let (ext_base, ext_size) = self.free_extents[i];
+                if ext_size == padded_bytes {
+                    self.free_extents.remove(i);
+                } else {
+                    self.free_extents[i] = (ext_base + padded_bytes, ext_size - padded_bytes);
+                }
+                ext_base
+            }
+            None => {
+                let base = self.next_base;
+                self.next_base = base + padded_bytes;
+                base
+            }
+        };
+        self.allocated_words += padded_words;
         self.buffers.push(Buffer {
             base,
+            padded_words,
             data: Vec::new(),
             name: name.to_string(),
         });
@@ -85,14 +117,41 @@ impl DeviceMem {
         Ok(id)
     }
 
-    /// Free a buffer's capacity accounting and contents. The handle (and
+    /// Free a buffer: capacity, contents *and* address space are all
+    /// reclaimed (the extent returns to the free list, coalescing with
+    /// neighbours, so a later allocation can reuse it). The handle (and
     /// any copy of it) must not be used afterwards; the slot keeps its
     /// base address so stale handles fail loudly on access.
     pub fn free(&mut self, id: BufId) {
         let buf = &mut self.buffers[id.0];
-        self.allocated_words -= buf.data.len() as u64;
+        let (mut base, mut size) = (buf.base, buf.padded_words * 4);
+        self.allocated_words -= buf.padded_words;
+        buf.padded_words = 0;
         buf.data = Vec::new();
         buf.name.push_str(" (freed)");
+        // Insert sorted by base, merging with the previous and next
+        // extents when they touch.
+        let at = self.free_extents.partition_point(|&(b, _)| b < base);
+        if at < self.free_extents.len() && base + size == self.free_extents[at].0 {
+            size += self.free_extents[at].1;
+            self.free_extents.remove(at);
+        }
+        if at > 0 {
+            let (pb, ps) = self.free_extents[at - 1];
+            if pb + ps == base {
+                base = pb;
+                size += ps;
+                self.free_extents.remove(at - 1);
+            }
+        }
+        if base + size == self.next_base {
+            // The extent touches the high-water mark: give the address
+            // space back to the bump allocator instead.
+            self.next_base = base;
+        } else {
+            let at = self.free_extents.partition_point(|&(b, _)| b < base);
+            self.free_extents.insert(at, (base, size));
+        }
     }
 
     /// Copy a buffer back to the host.
@@ -131,6 +190,10 @@ impl DeviceMem {
         self.buffers[id.0].base + (idx as u64) * 4
     }
 
+    /// Host-side word access: out of bounds is a harness bug, so it
+    /// panics (like dereferencing a bad host pointer). Kernel lanes go
+    /// through the fallible `try_*` accessors instead.
+    #[cfg(test)]
     #[inline]
     pub(crate) fn word(&self, id: BufId, idx: usize) -> &AtomicU32 {
         let buf = &self.buffers[id.0];
@@ -144,39 +207,67 @@ impl DeviceMem {
         }
     }
 
+    /// Lane-side word access: out of bounds is attributed to the kernel
+    /// under test and surfaces as [`SimError::MemoryFault`] so the run
+    /// can be recorded as failed without aborting the process.
+    #[inline]
+    pub(crate) fn try_word(&self, id: BufId, idx: usize) -> Result<&AtomicU32, SimError> {
+        let buf = &self.buffers[id.0];
+        buf.data.get(idx).ok_or_else(|| SimError::MemoryFault {
+            buffer: buf.name.clone(),
+            index: idx,
+            len: buf.data.len(),
+        })
+    }
+
+    #[inline]
+    pub(crate) fn try_load(&self, id: BufId, idx: usize) -> Result<u32, SimError> {
+        Ok(self.try_word(id, idx)?.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn try_store(&self, id: BufId, idx: usize, val: u32) -> Result<(), SimError> {
+        self.try_word(id, idx)?.store(val, Ordering::Relaxed);
+        Ok(())
+    }
+
+    #[inline]
+    pub(crate) fn try_fetch_add(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
+        Ok(self.try_word(id, idx)?.fetch_add(val, Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn try_fetch_or(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
+        Ok(self.try_word(id, idx)?.fetch_or(val, Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn try_fetch_and(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
+        Ok(self.try_word(id, idx)?.fetch_and(val, Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn try_compare_exchange(
+        &self,
+        id: BufId,
+        idx: usize,
+        cur: u32,
+        new: u32,
+    ) -> Result<u32, SimError> {
+        match self.try_word(id, idx)?.compare_exchange(
+            cur,
+            new,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(old) | Err(old) => Ok(old),
+        }
+    }
+
+    #[cfg(test)]
     #[inline]
     pub(crate) fn load(&self, id: BufId, idx: usize) -> u32 {
         self.word(id, idx).load(Ordering::Relaxed)
-    }
-
-    #[inline]
-    pub(crate) fn store(&self, id: BufId, idx: usize, val: u32) {
-        self.word(id, idx).store(val, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn fetch_add(&self, id: BufId, idx: usize, val: u32) -> u32 {
-        self.word(id, idx).fetch_add(val, Ordering::Relaxed)
-    }
-
-    #[inline]
-    pub(crate) fn fetch_or(&self, id: BufId, idx: usize, val: u32) -> u32 {
-        self.word(id, idx).fetch_or(val, Ordering::Relaxed)
-    }
-
-    #[inline]
-    pub(crate) fn fetch_and(&self, id: BufId, idx: usize, val: u32) -> u32 {
-        self.word(id, idx).fetch_and(val, Ordering::Relaxed)
-    }
-
-    #[inline]
-    pub(crate) fn compare_exchange(&self, id: BufId, idx: usize, cur: u32, new: u32) -> u32 {
-        match self
-            .word(id, idx)
-            .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
-        {
-            Ok(old) | Err(old) => old,
-        }
     }
 }
 
@@ -204,6 +295,9 @@ mod tests {
     fn capacity_enforced() {
         let dev = small_device();
         let mut mem = DeviceMem::new(&dev);
+        // 1000 words pad to a 4096-byte extent = all 1024 words of the
+        // device; alignment padding counts against capacity like it does
+        // for `cudaMalloc`.
         mem.alloc_zeroed(1000, "big").unwrap();
         let err = mem.alloc_zeroed(100, "overflow").unwrap_err();
         match err {
@@ -213,10 +307,20 @@ mod tests {
                 ..
             } => {
                 assert_eq!(requested_words, 100);
-                assert_eq!(available_words, 24);
+                assert_eq!(available_words, 0);
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn alignment_padding_charged() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        // A 1-word buffer still occupies a 256-byte extent (64 words).
+        mem.alloc_zeroed(1, "tiny").unwrap();
+        assert_eq!(mem.allocated_words(), 64);
+        assert_eq!(mem.available_words(), 1024 - 64);
     }
 
     #[test]
@@ -227,6 +331,60 @@ mod tests {
         mem.free(b);
         assert_eq!(mem.allocated_words(), 0);
         mem.alloc_zeroed(1000, "again").unwrap();
+    }
+
+    #[test]
+    fn free_reclaims_address_space() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        // Regression: repeated alloc/free cycles used to leak address
+        // space (the bump pointer only ever grew), so a fresh allocation
+        // after a free landed at an ever-higher base.
+        let a = mem.alloc_zeroed(512, "a").unwrap();
+        let base_a = mem.addr_of(a, 0);
+        mem.free(a);
+        for round in 0..100 {
+            let b = mem.alloc_zeroed(512, "b").unwrap();
+            assert_eq!(
+                mem.addr_of(b, 0),
+                base_a,
+                "round {round}: freed extent not reused"
+            );
+            mem.free(b);
+        }
+    }
+
+    #[test]
+    fn freed_neighbours_coalesce() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let a = mem.alloc_zeroed(64, "a").unwrap();
+        let b = mem.alloc_zeroed(64, "b").unwrap();
+        let c = mem.alloc_zeroed(64, "c").unwrap();
+        let base_a = mem.addr_of(a, 0);
+        let base_c = mem.addr_of(c, 0);
+        // Free a and b in either order: their extents merge, so a single
+        // 128-word allocation fits where two 64-word buffers were.
+        mem.free(a);
+        mem.free(b);
+        let big = mem.alloc_zeroed(128, "big").unwrap();
+        assert_eq!(mem.addr_of(big, 0), base_a);
+        // c is still live and untouched.
+        assert_eq!(mem.addr_of(c, 0), base_c);
+        assert_eq!(mem.read_back(c), vec![0; 64]);
+    }
+
+    #[test]
+    fn freeing_top_extent_rewinds_bump_pointer() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let a = mem.alloc_zeroed(64, "a").unwrap();
+        let b = mem.alloc_zeroed(64, "b").unwrap();
+        mem.free(b);
+        // b was the topmost extent, so its space rejoins the bump region
+        // and the next same-size allocation lands exactly where b was.
+        let b2 = mem.alloc_zeroed(64, "b2").unwrap();
+        assert_eq!(mem.addr_of(b2, 0), mem.addr_of(a, 0) + 256);
     }
 
     #[test]
@@ -254,13 +412,13 @@ mod tests {
         let dev = small_device();
         let mut mem = DeviceMem::new(&dev);
         let b = mem.alloc_zeroed(2, "t").unwrap();
-        assert_eq!(mem.fetch_add(b, 0, 5), 0);
-        assert_eq!(mem.fetch_add(b, 0, 5), 5);
-        assert_eq!(mem.fetch_or(b, 1, 0b10), 0);
-        assert_eq!(mem.fetch_and(b, 1, 0b10), 0b10);
-        assert_eq!(mem.compare_exchange(b, 0, 10, 99), 10);
+        assert_eq!(mem.try_fetch_add(b, 0, 5).unwrap(), 0);
+        assert_eq!(mem.try_fetch_add(b, 0, 5).unwrap(), 5);
+        assert_eq!(mem.try_fetch_or(b, 1, 0b10).unwrap(), 0);
+        assert_eq!(mem.try_fetch_and(b, 1, 0b10).unwrap(), 0b10);
+        assert_eq!(mem.try_compare_exchange(b, 0, 10, 99).unwrap(), 10);
         assert_eq!(mem.load(b, 0), 99);
-        assert_eq!(mem.compare_exchange(b, 0, 10, 50), 99);
+        assert_eq!(mem.try_compare_exchange(b, 0, 10, 50).unwrap(), 99);
         assert_eq!(mem.load(b, 0), 99);
     }
 

@@ -125,15 +125,7 @@ mod tests {
     #[test]
     fn cleaning_preserves_triangles() {
         // Triangle 2-4-6 with noise.
-        let raw = EdgeList::new(vec![
-            (2, 4),
-            (4, 2),
-            (4, 6),
-            (6, 2),
-            (2, 2),
-            (6, 2),
-            (9, 2),
-        ]);
+        let raw = EdgeList::new(vec![(2, 4), (4, 2), (4, 6), (6, 2), (2, 2), (6, 2), (9, 2)]);
         let (g, _) = clean_edges(&raw);
         assert_eq!(crate::cpu_ref::node_iterator(&g), 1);
     }

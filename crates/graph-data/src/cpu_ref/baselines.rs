@@ -41,7 +41,12 @@ pub fn matmul_count(g: &UndirGraph) -> u64 {
     let mut total = 0u64;
     for i in 0..g.num_vertices() {
         // L(i,:) = neighbours of i smaller than i.
-        let below_i: Vec<u32> = csr.neighbors(i).iter().copied().filter(|&k| k < i).collect();
+        let below_i: Vec<u32> = csr
+            .neighbors(i)
+            .iter()
+            .copied()
+            .filter(|&k| k < i)
+            .collect();
         for &j in csr.neighbors(i) {
             // U(:,j) has 1 at row k iff k < j and (k,j) is an edge.
             total += below_i

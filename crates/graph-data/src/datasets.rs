@@ -35,7 +35,12 @@ pub enum GenSpec {
     /// collaboration graphs).
     Ba { n: u32, m: u32, p_triad: f64 },
     /// Road-network lattice.
-    Grid { rows: u32, cols: u32, keep: f64, diag: f64 },
+    Grid {
+        rows: u32,
+        cols: u32,
+        keep: f64,
+        diag: f64,
+    },
 }
 
 /// One row of Table II: the paper's reported statistics plus the recipe
@@ -60,9 +65,12 @@ impl DatasetSpec {
             }
             GenSpec::Er { n, raw_edges } => erdos_renyi(n, raw_edges, self.seed),
             GenSpec::Ba { n, m, p_triad } => barabasi_albert(n, m, p_triad, self.seed),
-            GenSpec::Grid { rows, cols, keep, diag } => {
-                road_grid(rows, cols, keep, diag, self.seed)
-            }
+            GenSpec::Grid {
+                rows,
+                cols,
+                keep,
+                diag,
+            } => road_grid(rows, cols, keep, diag, self.seed),
         };
         clean_edges(&raw).0
     }
@@ -84,7 +92,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 43_000,
         paper_avg_degree: 5.2,
         size_class: SizeClass::Small,
-        gen: GenSpec::Rmat { scale: 16, raw_edges: 55_000 },
+        gen: GenSpec::Rmat {
+            scale: 16,
+            raw_edges: 55_000,
+        },
         seed: 101,
     },
     DatasetSpec {
@@ -93,7 +104,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 119_000,
         paper_avg_degree: 7.0,
         size_class: SizeClass::Small,
-        gen: GenSpec::Er { n: 33_000, raw_edges: 125_000 },
+        gen: GenSpec::Er {
+            n: 33_000,
+            raw_edges: 125_000,
+        },
         seed: 102,
     },
     DatasetSpec {
@@ -102,7 +116,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 151_000,
         paper_avg_degree: 7.7,
         size_class: SizeClass::Small,
-        gen: GenSpec::Rmat { scale: 17, raw_edges: 190_000 },
+        gen: GenSpec::Rmat {
+            scale: 17,
+            raw_edges: 190_000,
+        },
         seed: 103,
     },
     DatasetSpec {
@@ -111,7 +128,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 475_000,
         paper_avg_degree: 17.7,
         size_class: SizeClass::Small,
-        gen: GenSpec::Rmat { scale: 16, raw_edges: 440_000 },
+        gen: GenSpec::Rmat {
+            scale: 16,
+            raw_edges: 440_000,
+        },
         seed: 104,
     },
     DatasetSpec {
@@ -120,7 +140,11 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 928_000,
         paper_avg_degree: 11.3,
         size_class: SizeClass::Small,
-        gen: GenSpec::Ba { n: 62_000, m: 6, p_triad: 0.75 },
+        gen: GenSpec::Ba {
+            n: 62_000,
+            m: 6,
+            p_triad: 0.75,
+        },
         seed: 105,
     },
     DatasetSpec {
@@ -129,7 +153,11 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 1_000_000,
         paper_avg_degree: 7.3,
         size_class: SizeClass::Small,
-        gen: GenSpec::Ba { n: 110_000, m: 4, p_triad: 0.6 },
+        gen: GenSpec::Ba {
+            n: 110_000,
+            m: 4,
+            p_triad: 0.6,
+        },
         seed: 106,
     },
     DatasetSpec {
@@ -138,7 +166,11 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 2_400_000,
         paper_avg_degree: 12.4,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Ba { n: 86_000, m: 6, p_triad: 0.5 },
+        gen: GenSpec::Ba {
+            n: 86_000,
+            m: 6,
+            p_triad: 0.5,
+        },
         seed: 107,
     },
     DatasetSpec {
@@ -147,7 +179,12 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 2_400_000,
         paper_avg_degree: 2.9,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Grid { rows: 620, cols: 620, keep: 0.75, diag: 0.04 },
+        gen: GenSpec::Grid {
+            rows: 620,
+            cols: 620,
+            keep: 0.75,
+            diag: 0.04,
+        },
         seed: 108,
     },
     DatasetSpec {
@@ -156,7 +193,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 2_800_000,
         paper_avg_degree: 9.2,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Rmat { scale: 18, raw_edges: 850_000 },
+        gen: GenSpec::Rmat {
+            scale: 18,
+            raw_edges: 850_000,
+        },
         seed: 109,
     },
     DatasetSpec {
@@ -165,7 +205,11 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 6_600_000,
         paper_avg_degree: 20.4,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Ba { n: 70_000, m: 10, p_triad: 0.7 },
+        gen: GenSpec::Ba {
+            n: 70_000,
+            m: 10,
+            p_triad: 0.7,
+        },
         seed: 110,
     },
     DatasetSpec {
@@ -174,7 +218,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 10_800_000,
         paper_avg_degree: 14.7,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Rmat { scale: 18, raw_edges: 1_150_000 },
+        gen: GenSpec::Rmat {
+            scale: 18,
+            raw_edges: 1_150_000,
+        },
         seed: 111,
     },
     DatasetSpec {
@@ -183,7 +230,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 15_800_000,
         paper_avg_degree: 10.2,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Rmat { scale: 19, raw_edges: 1_250_000 },
+        gen: GenSpec::Rmat {
+            scale: 19,
+            raw_edges: 1_250_000,
+        },
         seed: 112,
     },
     DatasetSpec {
@@ -192,7 +242,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 22_100_000,
         paper_avg_degree: 30.1,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Rmat { scale: 17, raw_edges: 1_500_000 },
+        gen: GenSpec::Rmat {
+            scale: 17,
+            raw_edges: 1_500_000,
+        },
         seed: 113,
     },
     DatasetSpec {
@@ -201,7 +254,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 27_500_000,
         paper_avg_degree: 28.0,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Rmat { scale: 17, raw_edges: 1_700_000 },
+        gen: GenSpec::Rmat {
+            scale: 17,
+            raw_edges: 1_700_000,
+        },
         seed: 114,
     },
     DatasetSpec {
@@ -210,7 +266,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 33_800_000,
         paper_avg_degree: 21.1,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Rmat { scale: 18, raw_edges: 1_750_000 },
+        gen: GenSpec::Rmat {
+            scale: 18,
+            raw_edges: 1_750_000,
+        },
         seed: 115,
     },
     DatasetSpec {
@@ -219,7 +278,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 41_700_000,
         paper_avg_degree: 22.0,
         size_class: SizeClass::Medium,
-        gen: GenSpec::Rmat { scale: 18, raw_edges: 1_900_000 },
+        gen: GenSpec::Rmat {
+            scale: 18,
+            raw_edges: 1_900_000,
+        },
         seed: 116,
     },
     DatasetSpec {
@@ -228,7 +290,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 117_000_000,
         paper_avg_degree: 77.9,
         size_class: SizeClass::Large,
-        gen: GenSpec::Rmat { scale: 16, raw_edges: 2_200_000 },
+        gen: GenSpec::Rmat {
+            scale: 16,
+            raw_edges: 2_200_000,
+        },
         seed: 117,
     },
     DatasetSpec {
@@ -237,7 +302,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 1_200_000_000,
         paper_avg_degree: 60.4,
         size_class: SizeClass::Large,
-        gen: GenSpec::Rmat { scale: 17, raw_edges: 3_000_000 },
+        gen: GenSpec::Rmat {
+            scale: 17,
+            raw_edges: 3_000_000,
+        },
         seed: 118,
     },
     DatasetSpec {
@@ -246,7 +314,10 @@ pub const TABLE2_DATASETS: [DatasetSpec; 19] = [
         paper_edges: 1_800_000_000,
         paper_avg_degree: 69.0,
         size_class: SizeClass::Large,
-        gen: GenSpec::Rmat { scale: 17, raw_edges: 3_600_000 },
+        gen: GenSpec::Rmat {
+            scale: 17,
+            raw_edges: 3_600_000,
+        },
         seed: 119,
     },
 ];

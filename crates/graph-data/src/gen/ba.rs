@@ -24,10 +24,10 @@ pub fn barabasi_albert(n: u32, m: u32, p_triad: f64, seed: u64) -> EdgeList {
     let mut pool: Vec<u32> = Vec::with_capacity(2 * n as usize * m as usize);
 
     let link = |edges: &mut Vec<(u32, u32)>,
-                    adj: &mut Vec<Vec<u32>>,
-                    pool: &mut Vec<u32>,
-                    a: u32,
-                    b: u32| {
+                adj: &mut Vec<Vec<u32>>,
+                pool: &mut Vec<u32>,
+                a: u32,
+                b: u32| {
         edges.push((a, b));
         adj[a as usize].push(b);
         adj[b as usize].push(a);

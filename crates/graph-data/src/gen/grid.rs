@@ -43,7 +43,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(road_grid(20, 20, 0.8, 0.1, 1), road_grid(20, 20, 0.8, 0.1, 1));
+        assert_eq!(
+            road_grid(20, 20, 0.8, 0.1, 1),
+            road_grid(20, 20, 0.8, 0.1, 1)
+        );
     }
 
     #[test]

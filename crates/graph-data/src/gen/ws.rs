@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(watts_strogatz(100, 3, 0.1, 7), watts_strogatz(100, 3, 0.1, 7));
+        assert_eq!(
+            watts_strogatz(100, 3, 0.1, 7),
+            watts_strogatz(100, 3, 0.1, 7)
+        );
     }
 
     #[test]

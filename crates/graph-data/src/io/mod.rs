@@ -62,7 +62,10 @@ mod tests {
         assert_eq!(detect_format(b"# comment\n0 1\n"), Format::SnapText);
         assert_eq!(detect_format(BINARY_MAGIC), Format::BinaryEdges);
         assert_eq!(detect_format(CSR_MAGIC), Format::Csr);
-        assert_eq!(detect_format(b"%%MatrixMarket matrix"), Format::MatrixMarket);
+        assert_eq!(
+            detect_format(b"%%MatrixMarket matrix"),
+            Format::MatrixMarket
+        );
         assert_eq!(detect_format(b""), Format::SnapText);
     }
 
@@ -78,7 +81,8 @@ mod tests {
         write_binary_edges(&mut bin, &edges).unwrap();
         assert_eq!(read_edges_auto(&bin[..]).unwrap(), edges);
 
-        let csr = crate::types::Csr::from_adjacency(&[vec![1], vec![2], vec![], vec![], vec![], vec![3]]);
+        let csr =
+            crate::types::Csr::from_adjacency(&[vec![1], vec![2], vec![], vec![], vec![], vec![3]]);
         let mut csr_bytes = Vec::new();
         write_csr(&mut csr_bytes, &csr).unwrap();
         let roundtrip = read_edges_auto(&csr_bytes[..]).unwrap();

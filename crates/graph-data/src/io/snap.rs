@@ -99,6 +99,8 @@ mod tests {
     #[test]
     fn empty_input_is_empty_list() {
         assert!(parse_snap_text("".as_bytes()).unwrap().is_empty());
-        assert!(parse_snap_text("# only comments\n".as_bytes()).unwrap().is_empty());
+        assert!(parse_snap_text("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 }

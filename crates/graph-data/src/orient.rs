@@ -167,7 +167,16 @@ mod tests {
 
     fn star_plus_triangle() -> UndirGraph {
         // Vertex 0 is a hub (degree 5); triangle 1-2-3.
-        let raw = EdgeList::new(vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (2, 3), (1, 3)]);
+        let raw = EdgeList::new(vec![
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (2, 3),
+            (1, 3),
+        ]);
         clean_edges(&raw).0
     }
 
@@ -226,8 +235,12 @@ mod tests {
         let c = orient(&g, Orientation::Random(8));
         // Different seed almost surely shuffles differently.
         assert_ne!(
-            (0..g.num_vertices()).map(|v| a.old_id(v)).collect::<Vec<_>>(),
-            (0..g.num_vertices()).map(|v| c.old_id(v)).collect::<Vec<_>>()
+            (0..g.num_vertices())
+                .map(|v| a.old_id(v))
+                .collect::<Vec<_>>(),
+            (0..g.num_vertices())
+                .map(|v| c.old_id(v))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -117,8 +117,7 @@ impl Csr {
 
     /// All (source, target) pairs in CSR order.
     pub fn edge_iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        (0..self.num_vertices())
-            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.num_vertices()).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Membership test via binary search (lists are sorted).
@@ -128,7 +127,10 @@ impl Csr {
     }
 
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -1,0 +1,412 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of the proptest API its tests use: the [`proptest!`] macro,
+//! `ProptestConfig::with_cases`, `prop_assert!`/`prop_assert_eq!`, integer
+//! ranges and tuples as strategies, `prop::collection::{vec, btree_set}`
+//! and `Strategy::prop_map`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * Case generation is seeded from the test's full module path, so runs
+//!   are **deterministic** across processes (upstream randomizes and
+//!   persists failures; determinism suits a CI gate better).
+//! * No shrinking: a failing case reports the exact generated inputs
+//!   (every strategy value in these tests is `Debug`), which is what the
+//!   shrunk report would contain for the small domains used here.
+//! * `.proptest-regressions` files are not consumed; historical
+//!   regressions are pinned as explicit `#[test]` cases next to the
+//!   property instead.
+
+use std::ops::Range;
+
+/// Deterministic xoshiro256** generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (the test's module path + name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Runner configuration: how many cases each property executes.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default; the workspace always overrides it lower.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` with a target size drawn from `size`; like upstream,
+    /// the realized size can be smaller when the element domain is tight.
+    pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut out = BTreeSet::new();
+            // Bounded attempts so tight domains terminate (like upstream's
+            // rejection limit).
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.elem.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves after a
+    /// glob import of this prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// Re-exported under the crate root too (upstream offers both paths).
+pub use collection as prop_collection;
+
+/// Assert inside a property; failure aborts the case with a message that
+/// the harness prefixes with the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The property-test harness macro. Supports the forms used in this
+/// workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..10, mut v in prop::collection::vec(0u32..5, 0..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    &$cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng, __case_desc| {
+                        #[allow(unused_parens)]
+                        let __vals = ($($crate::Strategy::generate(&($strat), __rng)),*);
+                        *__case_desc = format!(
+                            concat!("(", $(stringify!($pat), ", ",)* ") = {:?}"),
+                            __vals
+                        );
+                        #[allow(unused_parens)]
+                        let ($($pat),*) = __vals;
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($pat in $strat),* ) $body
+            )*
+        }
+    };
+}
+
+/// Drive one property: generate `cfg.cases` inputs and run the body on
+/// each; on panic, report the case index and the generated inputs, then
+/// re-panic with the original assertion payload.
+pub fn run_property<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String),
+{
+    let mut rng = TestRng::from_name(name);
+    for i in 0..cfg.cases {
+        let mut desc = String::new();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, &mut desc)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: property `{name}` failed at case {i}/{} with inputs: {}",
+                cfg.cases,
+                if desc.is_empty() {
+                    "<failed during generation>"
+                } else {
+                    &desc
+                },
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::run_property;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_name("t1");
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let (a, b) = (0u32..4, 10usize..12).generate(&mut rng);
+            assert!(a < 4 && (10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = TestRng::from_name("t2");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..100, 5..10).generate(&mut rng);
+            assert!((5..10).contains(&v.len()));
+            let s = prop::collection::btree_set(0u32..1000, 0..40).generate(&mut rng);
+            assert!(s.len() < 40);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::from_name("t3");
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_roundtrip(x in 1u32..50, mut v in prop::collection::vec(0u32..5, 0..8)) {
+            v.push(x);
+            prop_assert!(*v.last().unwrap() >= 1);
+            prop_assert_eq!(v.last().copied().unwrap(), x);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_reports_and_panics() {
+        run_property(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            |_rng, _desc| {
+                panic!("boom");
+            },
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the tiny slice of the `rand` API it actually uses: a seedable
+//! deterministic generator (`rngs::StdRng`), `Rng::{gen, gen_range,
+//! gen_bool}` and `SeedableRng::{seed_from_u64, from_seed}`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), but every use in this
+//! workspace only relies on determinism-per-seed and uniformity, not on
+//! reproducing upstream's exact byte stream.
+
+pub mod rngs {
+    /// Deterministic 64-bit PRNG (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeding interface (the subset of `rand::SeedableRng` in use).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        rngs::StdRng::from_state(s)
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut rngs::StdRng) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Multiply-shift bounded sampling (Lemire); bias is
+                // negligible for the span sizes used here.
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + r as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start + r as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+/// The subset of `rand::Rng` this workspace uses.
+pub trait Rng {
+    fn next_u64_raw(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T;
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    #[inline]
+    fn next_u64_raw(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0usize..3);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn unit_floats_and_bools() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut trues = 0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            if rng.gen_bool(0.25) {
+                trues += 1;
+            }
+        }
+        assert!((1500..3500).contains(&trues), "p=0.25 gave {trues}/10000");
+    }
+
+    #[test]
+    fn range_sampling_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of the rayon API it uses: `into_par_iter()` / `par_iter()`
+//! over ranges, vectors and slices, with `map`, `sum` and `collect`.
+//! Execution fans items over `std::thread::scope` workers that pull
+//! indices from a shared atomic cursor (dynamic load balancing, like
+//! rayon's work stealing at a coarser grain), and results are always
+//! returned **in input order**, so parallel sweeps stay deterministic.
+//!
+//! A process-wide worker budget keeps nested parallelism (a parallel
+//! sweep whose every cell launches a block-parallel kernel) from spawning
+//! quadratically many threads: inner `par_*` calls that find the budget
+//! exhausted just run inline on the caller's thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Live workers across every concurrently-executing `par_*` call.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the host offers.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items`, in parallel when the thread budget allows,
+/// returning results in input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let budget = current_num_threads().saturating_sub(ACTIVE_WORKERS.load(Ordering::Relaxed));
+    let workers = budget.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    ACTIVE_WORKERS.fetch_add(workers, Ordering::Relaxed);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("rayon shim: item slot poisoned")
+                    .take()
+                    .expect("rayon shim: item taken twice");
+                let out = f(item);
+                *results[i].lock().expect("rayon shim: result slot poisoned") = Some(out);
+            });
+        }
+    });
+    ACTIVE_WORKERS.fetch_sub(workers, Ordering::Relaxed);
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon shim: result slot poisoned")
+                .expect("rayon shim: worker skipped an item")
+        })
+        .collect()
+}
+
+/// A to-be-parallelized sequence of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A [`ParIter`] with a pending per-item transform; the transform runs on
+/// the worker threads.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `.par_iter()` on collections, yielding `&T` items.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Consumer operations shared by [`ParIter`] and [`ParMap`].
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Execute, producing the items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T, R, F> ParallelIterator for ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_vec(self.items, self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_sum() {
+        let s: u64 = (0u32..1000).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let v: Vec<usize> = (0usize..512).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..512).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let r: Result<Vec<u32>, String> = (0u32..100)
+            .into_par_iter()
+            .map(|i| {
+                if i == 42 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("boom".to_string()));
+        let ok: Result<Vec<u32>, String> = (0u32..10).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+    }
+
+    #[test]
+    fn par_iter_over_slice_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let s: u64 = data.par_iter().map(|&x| x * 10).sum();
+        assert_eq!(s, 100);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let total: u64 = (0u32..8)
+            .into_par_iter()
+            .map(|i| {
+                (0u32..100)
+                    .into_par_iter()
+                    .map(|j| (i + j) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let expected: u64 = (0..8u64)
+            .map(|i| (0..100u64).map(|j| i + j).sum::<u64>())
+            .sum();
+        assert_eq!(total, expected);
+    }
+}

@@ -196,7 +196,11 @@ mod tests {
 
     #[test]
     fn works_under_all_orientations() {
-        for o in [Orientation::ById, Orientation::DegreeAsc, Orientation::DegreeDesc] {
+        for o in [
+            Orientation::ById,
+            Orientation::DegreeAsc,
+            Orientation::DegreeDesc,
+        ] {
             testutil::assert_matches_reference(&Bisson, &testutil::figure1_edges(), o);
         }
     }

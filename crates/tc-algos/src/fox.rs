@@ -50,11 +50,15 @@ pub struct Fox {
 
 impl Fox {
     pub fn merge() -> Self {
-        Fox { strategy: FoxStrategy::Merge }
+        Fox {
+            strategy: FoxStrategy::Merge,
+        }
     }
 
     pub fn adaptive() -> Self {
-        Fox { strategy: FoxStrategy::Adaptive }
+        Fox {
+            strategy: FoxStrategy::Adaptive,
+        }
     }
 }
 
@@ -112,9 +116,7 @@ impl TcAlgorithm for Fox {
             let work = match self.strategy {
                 FoxStrategy::BinSearch => bsearch_workload(du, dv),
                 FoxStrategy::Merge => merge_workload(du, dv),
-                FoxStrategy::Adaptive => {
-                    bsearch_workload(du, dv).min(merge_workload(du, dv))
-                }
+                FoxStrategy::Adaptive => bsearch_workload(du, dv).min(merge_workload(du, dv)),
             };
             bins[bin_of(work)].push(e);
         }
@@ -236,8 +238,16 @@ fn launch_bin(
                     FoxStrategy::Adaptive => merge_workload(un, vn) < bsearch_workload(un, vn),
                 };
                 if use_merge {
-                    local +=
-                        merge_path_count(lane, g, u_base, un, v_base, vn, lane_in_group, group_size);
+                    local += merge_path_count(
+                        lane,
+                        g,
+                        u_base,
+                        un,
+                        v_base,
+                        vn,
+                        lane_in_group,
+                        group_size,
+                    );
                 } else {
                     // Keys from the shorter list, search the longer.
                     let (k_base, kn, t_base, t_end) = if un <= vn {
@@ -307,7 +317,11 @@ mod tests {
 
     #[test]
     fn works_under_all_orientations() {
-        for o in [Orientation::ById, Orientation::DegreeAsc, Orientation::DegreeDesc] {
+        for o in [
+            Orientation::ById,
+            Orientation::DegreeAsc,
+            Orientation::DegreeDesc,
+        ] {
             testutil::assert_matches_reference(&Fox::default(), &testutil::figure1_edges(), o);
         }
     }

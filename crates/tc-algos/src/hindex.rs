@@ -96,8 +96,7 @@ impl TcAlgorithm for HIndex {
                         let row = lane.atomic_add_shared(warp_base + bucket as usize, 1);
                         if row < SHARED_ROWS {
                             // Row-major shared slot.
-                            let slot = warp_base
-                                + (BUCKETS + row * BUCKETS + bucket) as usize;
+                            let slot = warp_base + (BUCKETS + row * BUCKETS + bucket) as usize;
                             lane.st_shared(slot, x);
                         } else if row < MAX_ROWS {
                             let slot = (warp_global * BUCKETS * arena_rows
@@ -169,11 +168,7 @@ impl TcAlgorithm for HIndex {
 
 /// Edge list bounds with the **shorter** list first (build side) and the
 /// longer second (query side) — H-INDEX's collision-reduction choice.
-fn shorter_longer(
-    lane: &mut gpu_sim::LaneCtx,
-    g: &DeviceGraph,
-    e: usize,
-) -> (u32, u32, u32, u32) {
+fn shorter_longer(lane: &mut gpu_sim::LaneCtx, g: &DeviceGraph, e: usize) -> (u32, u32, u32, u32) {
     let u = lane.ld_global(g.edge_src, e);
     let v = lane.ld_global(g.edge_dst, e);
     let u_base = lane.ld_global(g.row_offsets, u as usize);
@@ -212,7 +207,11 @@ mod tests {
 
     #[test]
     fn works_under_all_orientations() {
-        for o in [Orientation::ById, Orientation::DegreeAsc, Orientation::DegreeDesc] {
+        for o in [
+            Orientation::ById,
+            Orientation::DegreeAsc,
+            Orientation::DegreeDesc,
+        ] {
             testutil::assert_matches_reference(&HIndex, &testutil::figure1_edges(), o);
         }
     }

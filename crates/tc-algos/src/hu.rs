@@ -119,8 +119,7 @@ impl TcAlgorithm for Hu {
                     while u_point < un {
                         let v = read_u_entry(lane, g, base, cached, u_point);
                         let mut v_point = lane.ld_global(g.row_offsets, v as usize);
-                        let mut v_deg =
-                            lane.ld_global(g.row_offsets, v as usize + 1) - v_point;
+                        let mut v_deg = lane.ld_global(g.row_offsets, v as usize + 1) - v_point;
                         // Current v exhausted for this lane's offset:
                         // move to the v that contains it.
                         while u_point < un && v_offset >= v_deg {
@@ -130,13 +129,11 @@ impl TcAlgorithm for Hu {
                             if u_point < un {
                                 let v2 = read_u_entry(lane, g, base, cached, u_point);
                                 v_point = lane.ld_global(g.row_offsets, v2 as usize);
-                                v_deg =
-                                    lane.ld_global(g.row_offsets, v2 as usize + 1) - v_point;
+                                v_deg = lane.ld_global(g.row_offsets, v2 as usize + 1) - v_point;
                             }
                         }
                         if u_point < un {
-                            let w =
-                                lane.ld_global(g.col_indices, (v_point + v_offset) as usize);
+                            let w = lane.ld_global(g.col_indices, (v_point + v_offset) as usize);
                             if tiered_bsearch(lane, g, base, cached, un, w) {
                                 tc += 1;
                             }
@@ -182,7 +179,11 @@ mod tests {
 
     #[test]
     fn works_under_all_orientations() {
-        for o in [Orientation::ById, Orientation::DegreeAsc, Orientation::DegreeDesc] {
+        for o in [
+            Orientation::ById,
+            Orientation::DegreeAsc,
+            Orientation::DegreeDesc,
+        ] {
             testutil::assert_matches_reference(&Hu, &testutil::figure1_edges(), o);
         }
     }

@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn works_under_all_orientations() {
-        for o in [Orientation::ById, Orientation::DegreeAsc, Orientation::DegreeDesc] {
+        for o in [
+            Orientation::ById,
+            Orientation::DegreeAsc,
+            Orientation::DegreeDesc,
+        ] {
             crate::testutil::assert_matches_reference(&Polak, &crate::testutil::figure1_edges(), o);
         }
     }

@@ -2,8 +2,10 @@
 //! (chronological).
 
 use crate::api::TcAlgorithm;
-use crate::{bisson::Bisson, fox::Fox, green::Green, hindex::HIndex, hu::Hu, polak::Polak,
-            tricore::TriCore, trust::Trust};
+use crate::{
+    bisson::Bisson, fox::Fox, green::Green, hindex::HIndex, hu::Hu, polak::Polak, tricore::TriCore,
+    trust::Trust,
+};
 
 /// All eight published implementations the paper evaluates,
 /// chronologically as in Table I. (GroupTC, the paper's own algorithm,

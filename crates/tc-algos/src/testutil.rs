@@ -34,7 +34,8 @@ pub fn assert_matches_reference(
     let expected = cpu_ref::forward_merge(&dag);
     let out = run_on_dag(algo, &dag);
     assert_eq!(
-        out, expected,
+        out,
+        expected,
         "{} disagrees with reference on {} vertices / {} edges ({orientation:?})",
         algo.name(),
         g.num_vertices(),
@@ -89,11 +90,23 @@ pub fn exhaustive_small_graph_check(algo: &dyn TcAlgorithm) {
     // Two disconnected triangles plus an isolated edge.
     assert_matches_reference(
         algo,
-        &EdgeList::new(vec![(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7), (10, 11)]),
+        &EdgeList::new(vec![
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (5, 6),
+            (6, 7),
+            (5, 7),
+            (10, 11),
+        ]),
         orientation,
     );
     // Random graphs from each generator family.
-    assert_matches_reference(algo, &gen::rmat(9, 4000, 0.57, 0.19, 0.19, 0.05, 17), orientation);
+    assert_matches_reference(
+        algo,
+        &gen::rmat(9, 4000, 0.57, 0.19, 0.19, 0.05, 17),
+        orientation,
+    );
     assert_matches_reference(algo, &gen::barabasi_albert(300, 4, 0.6, 18), orientation);
     assert_matches_reference(algo, &gen::watts_strogatz(200, 3, 0.2, 19), orientation);
     assert_matches_reference(algo, &gen::road_grid(15, 15, 0.85, 0.3, 20), orientation);

@@ -32,11 +32,7 @@ pub struct TriCore;
 /// Load the edge's (table, keys) segment bounds; the table is the longer
 /// list. Returns (table_base, table_len, keys_base, keys_len). The loads
 /// are warp-uniform (every lane reads the same words), i.e. broadcasts.
-fn load_edge_lists(
-    lane: &mut LaneCtx,
-    g: &DeviceGraph,
-    e: usize,
-) -> (u32, u32, u32, u32) {
+fn load_edge_lists(lane: &mut LaneCtx, g: &DeviceGraph, e: usize) -> (u32, u32, u32, u32) {
     let u = lane.ld_global(g.edge_src, e);
     let v = lane.ld_global(g.edge_dst, e);
     let u_base = lane.ld_global(g.row_offsets, u as usize);
@@ -159,7 +155,7 @@ impl TcAlgorithm for TriCore {
                                 }
                                 std::cmp::Ordering::Greater => {
                                     hi = mid;
-                                    node = 2 * node;
+                                    node *= 2;
                                 }
                             }
                             depth += 1;
@@ -219,7 +215,11 @@ mod tests {
 
     #[test]
     fn works_under_all_orientations() {
-        for o in [Orientation::ById, Orientation::DegreeAsc, Orientation::DegreeDesc] {
+        for o in [
+            Orientation::ById,
+            Orientation::DegreeAsc,
+            Orientation::DegreeDesc,
+        ] {
             testutil::assert_matches_reference(&TriCore, &testutil::figure1_edges(), o);
         }
     }

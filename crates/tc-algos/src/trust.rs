@@ -145,7 +145,12 @@ fn run_mode(
     mode: Mode,
 ) -> Result<LaunchStats, SimError> {
     let geom = mode.geom();
-    let ModeGeom { block_dim, buckets, rows, meta_cap } = geom;
+    let ModeGeom {
+        block_dim,
+        buckets,
+        rows,
+        meta_cap,
+    } = geom;
     // Shared layout: len[buckets] | elems[buckets*rows] | flag | meta.
     let flag_at = (buckets * (1 + rows)) as usize;
     let meta_at = flag_at + 1;
@@ -250,8 +255,7 @@ fn run_mode(
                             let len = lane.ld_shared(bucket as usize);
                             let mut found = false;
                             for row in 0..len.min(rows) {
-                                let x = lane
-                                    .ld_shared((buckets + row * buckets + bucket) as usize);
+                                let x = lane.ld_shared((buckets + row * buckets + bucket) as usize);
                                 lane.compute(1);
                                 if x == w {
                                     found = true;
@@ -299,7 +303,11 @@ mod tests {
 
     #[test]
     fn works_under_all_orientations() {
-        for o in [Orientation::ById, Orientation::DegreeAsc, Orientation::DegreeDesc] {
+        for o in [
+            Orientation::ById,
+            Orientation::DegreeAsc,
+            Orientation::DegreeDesc,
+        ] {
             testutil::assert_matches_reference(&Trust, &testutil::figure1_edges(), o);
         }
     }

@@ -67,12 +67,7 @@ pub fn bsearch_global_pos(
 
 /// Traced binary search in a sorted *shared-memory* segment
 /// `shared[lo..hi)`.
-pub fn bsearch_shared(
-    lane: &mut LaneCtx,
-    mut lo: u32,
-    mut hi: u32,
-    key: u32,
-) -> bool {
+pub fn bsearch_shared(lane: &mut LaneCtx, mut lo: u32, mut hi: u32, key: u32) -> bool {
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         let v = lane.ld_shared(mid as usize);

@@ -31,12 +31,7 @@ fn all_published_algorithms_agree_on_every_fixture() {
             let mut mem = DeviceMem::new(&dev);
             let dg = DeviceGraph::upload(&dag, &mut mem).unwrap();
             let out = algo.count(&dev, &mut mem, &dg).unwrap();
-            assert_eq!(
-                out.triangles,
-                expected,
-                "{} wrong on {name}",
-                algo.name()
-            );
+            assert_eq!(out.triangles, expected, "{} wrong on {name}", algo.name());
             // Auxiliary allocations must all have been released.
             dg.free(&mut mem);
             assert_eq!(
@@ -92,7 +87,12 @@ fn algorithms_fail_cleanly_when_auxiliary_memory_does_not_fit() {
             Ok(out) => {
                 // Algorithms with small aux footprints still succeed and
                 // must still be exact.
-                assert_eq!(out.triangles, cpu_ref::forward_merge(&dag), "{}", algo.name());
+                assert_eq!(
+                    out.triangles,
+                    cpu_ref::forward_merge(&dag),
+                    "{}",
+                    algo.name()
+                );
             }
             Err(SimError::OutOfMemory { .. }) => failures += 1,
             Err(e) => panic!("{}: unexpected error {e}", algo.name()),

@@ -56,7 +56,10 @@ fn bench_ablation(c: &mut Criterion) {
         group.bench_function(*name, |b| b.iter(|| run(&dev, &dag, algo)));
     }
     for chunk in [64u32, 256, 1024] {
-        let algo = GroupTc::new(GroupTcConfig { chunk_size: chunk, ..Default::default() });
+        let algo = GroupTc::new(GroupTcConfig {
+            chunk_size: chunk,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::new("chunk", chunk), &algo, |b, algo| {
             b.iter(|| run(&dev, &dag, algo))
         });

@@ -52,7 +52,9 @@ fn bench_cpu_references(c: &mut Criterion) {
     group.bench_function("forward_merge_parallel", |b| {
         b.iter(|| cpu_ref::forward_merge_parallel(&dag))
     });
-    group.bench_function("binsearch_count", |b| b.iter(|| cpu_ref::binsearch_count(&dag)));
+    group.bench_function("binsearch_count", |b| {
+        b.iter(|| cpu_ref::binsearch_count(&dag))
+    });
     group.bench_function("hash_count", |b| b.iter(|| cpu_ref::hash_count(&dag)));
     group.finish();
 }
@@ -65,13 +67,22 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("rmat_200k", |b| {
         b.iter(|| gen::rmat(15, 200_000, 0.57, 0.19, 0.19, 0.05, 4))
     });
-    group.bench_function("ba_30k", |b| b.iter(|| gen::barabasi_albert(10_000, 3, 0.5, 5)));
+    group.bench_function("ba_30k", |b| {
+        b.iter(|| gen::barabasi_albert(10_000, 3, 0.5, 5))
+    });
     let raw = gen::rmat(15, 200_000, 0.57, 0.19, 0.19, 0.05, 6);
     group.bench_function("clean_200k", |b| b.iter(|| clean_edges(&raw)));
     let (g, _) = clean_edges(&raw);
-    group.bench_function("orient_degree_asc", |b| b.iter(|| orient(&g, Orientation::DegreeAsc)));
+    group.bench_function("orient_degree_asc", |b| {
+        b.iter(|| orient(&g, Orientation::DegreeAsc))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_intersections, bench_cpu_references, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_intersections,
+    bench_cpu_references,
+    bench_pipeline
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! individually, plus a chunk-size sweep — all verified-exact runs.
 
 use tc_algos::api::TcAlgorithm;
-use tc_core::framework::report::{extract, MatrixView};
+use tc_core::framework::report::{extract, wall_summary, MatrixView};
 use tc_core::{GroupTc, GroupTcConfig};
 
 fn main() {
@@ -44,14 +44,21 @@ fn main() {
         Box::new(Named("no-flip", GroupTc::without_flip_tables())),
         Box::new(Named(
             "chunk-64",
-            GroupTc::new(GroupTcConfig { chunk_size: 64, ..Default::default() }),
+            GroupTc::new(GroupTcConfig {
+                chunk_size: 64,
+                ..Default::default()
+            }),
         )),
         Box::new(Named(
             "chunk-1024",
-            GroupTc::new(GroupTcConfig { chunk_size: 1024, ..Default::default() }),
+            GroupTc::new(GroupTcConfig {
+                chunk_size: 1024,
+                ..Default::default()
+            }),
         )),
     ];
     let records = tc_bench::sweep(&algos, &datasets);
+    eprintln!("[tc-bench] {}", wall_summary(&records, 3));
     assert!(
         records.iter().all(|r| r.is_verified()),
         "every ablation variant must stay exact"
@@ -63,6 +70,9 @@ fn main() {
     );
     println!(
         "{}",
-        view.render_figure("GroupTC ablations (global load requests)", extract::load_requests)
+        view.render_figure(
+            "GroupTC ablations (global load requests)",
+            extract::load_requests
+        )
     );
 }

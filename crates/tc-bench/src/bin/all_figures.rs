@@ -2,35 +2,61 @@
 //! the Figure 15 subset with speedups) from a single run — the cheapest
 //! way to regenerate the whole evaluation section.
 
-use tc_core::framework::report::{extract, format_sig, MatrixView, Table};
+use tc_core::framework::registry::all_algorithms;
+use tc_core::framework::report::{extract, format_sig, wall_summary, MatrixView, Table};
 use tc_core::framework::runner::RunOutcome;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Optional `--csv <path>`: dump the raw matrix for external plotting.
-    let csv_path = args
+    let csv_path = args.iter().position(|a| a == "--csv").map(|i| {
+        let mut it = args.drain(i..i + 2);
+        it.next();
+        it.next().expect("--csv needs a path")
+    });
+    // Optional `--timed-csv <path>`: same matrix plus the measured
+    // host_wall_ms column (not deterministic across runs).
+    let timed_csv_path = args.iter().position(|a| a == "--timed-csv").map(|i| {
+        let mut it = args.drain(i..i + 2);
+        it.next();
+        it.next().expect("--timed-csv needs a path")
+    });
+    // Optional `--serial`: run cells one at a time instead of fanning
+    // out over the rayon pool. The records are identical either way.
+    let serial = args
         .iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            let mut it = args.drain(i..i + 2);
-            it.next();
-            it.next().expect("--csv needs a path")
-        });
+        .position(|a| a == "--serial")
+        .map(|i| args.remove(i))
+        .is_some();
     let datasets = tc_bench::datasets_from_args(&args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
 
     tc_bench::eprint_progress(&format!(
-        "running 9 algorithms x {} datasets",
-        datasets.len()
+        "running 9 algorithms x {} datasets ({})",
+        datasets.len(),
+        if serial { "serial" } else { "parallel" }
     ));
-    let records = tc_bench::full_sweep(&datasets);
+    let records = if serial {
+        tc_bench::sweep_serial(&all_algorithms(), &datasets)
+    } else {
+        tc_bench::full_sweep(&datasets)
+    };
+    eprintln!("[tc-bench] {}", wall_summary(&records, 5));
 
     // Verification summary first: every successful run must be exact.
     let unverified: Vec<_> = records
         .iter()
-        .filter(|r| matches!(r.outcome, RunOutcome::Ok { verified: false, .. }))
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                RunOutcome::Ok {
+                    verified: false,
+                    ..
+                }
+            )
+        })
         .collect();
     assert!(
         unverified.is_empty(),
@@ -58,11 +84,20 @@ fn main() {
             .expect("write csv");
         eprintln!("[tc-bench] wrote {path}");
     }
+    if let Some(path) = timed_csv_path {
+        let f = std::fs::File::create(&path).expect("create timed csv");
+        tc_core::framework::csv::write_records_timed(std::io::BufWriter::new(f), &records)
+            .expect("write timed csv");
+        eprintln!("[tc-bench] wrote {path}");
+    }
 
     let view = MatrixView::new(&records);
     println!(
         "{}",
-        view.render_figure("FIGURE 11: total running time (modelled ms)", extract::time_ms)
+        view.render_figure(
+            "FIGURE 11: total running time (modelled ms)",
+            extract::time_ms
+        )
     );
     println!(
         "{}",

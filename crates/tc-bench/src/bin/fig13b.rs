@@ -13,9 +13,6 @@ fn main() {
     let view = MatrixView::new(&records);
     println!(
         "{}",
-        view.render_figure(
-            "FIGURE 13(b): gld_transactions_per_request",
-            extract::tpr
-        )
+        view.render_figure("FIGURE 13(b): gld_transactions_per_request", extract::tpr)
     );
 }

@@ -15,8 +15,11 @@ fn main() {
         std::process::exit(2);
     });
 
-    let algos: Vec<Box<dyn TcAlgorithm>> =
-        vec![Box::new(Polak), Box::new(Trust), Box::new(GroupTc::default())];
+    let algos: Vec<Box<dyn TcAlgorithm>> = vec![
+        Box::new(Polak),
+        Box::new(Trust),
+        Box::new(GroupTc::default()),
+    ];
     let records = tc_bench::sweep(&algos, &datasets);
     let view = MatrixView::new(&records);
     println!(

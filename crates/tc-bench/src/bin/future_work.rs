@@ -20,7 +20,10 @@ fn main() {
         Box::new(GroupTcHybrid::default()),
     ];
     let records = tc_bench::sweep(&algos, &datasets);
-    assert!(records.iter().all(|r| r.is_verified()), "all counts must verify");
+    assert!(
+        records.iter().all(|r| r.is_verified()),
+        "all counts must verify"
+    );
     let view = MatrixView::new(&records);
     println!(
         "{}",

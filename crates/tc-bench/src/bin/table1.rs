@@ -7,7 +7,14 @@ use tc_core::framework::registry::all_algorithms;
 use tc_core::framework::report::Table;
 
 fn main() {
-    let mut t = Table::new(&["Name", "Year", "Iterator", "Intersection", "Granularity", "Reference"]);
+    let mut t = Table::new(&[
+        "Name",
+        "Year",
+        "Iterator",
+        "Intersection",
+        "Granularity",
+        "Reference",
+    ]);
     for algo in all_algorithms() {
         let m = algo.meta();
         t.row(vec![

@@ -14,10 +14,23 @@ use gpu_sim::Device;
 use graph_data::{DatasetSpec, SizeClass, TABLE2_DATASETS};
 use tc_algos::api::TcAlgorithm;
 use tc_core::framework::registry::all_algorithms;
-use tc_core::framework::runner::{run_matrix, RunRecord};
+use tc_core::framework::runner::{run_matrix, run_matrix_parallel, RunRecord};
 
 /// Run the given algorithms over the given datasets on a simulated V100.
+///
+/// Cells are fanned out across a rayon pool; the records come back in
+/// the same deterministic (dataset-major) order as [`sweep_serial`], and
+/// a faulting implementation records `Failed` for its own cell without
+/// taking the rest of the sweep down. Honor `--serial` from a binary by
+/// calling [`sweep_serial`] instead.
 pub fn sweep(algos: &[Box<dyn TcAlgorithm>], datasets: &[DatasetSpec]) -> Vec<RunRecord> {
+    let dev = Device::v100();
+    run_matrix_parallel(&dev, algos, datasets)
+}
+
+/// [`sweep`] without the parallel fan-out — one cell at a time, for
+/// debugging or for minimizing peak memory on huge sweeps.
+pub fn sweep_serial(algos: &[Box<dyn TcAlgorithm>], datasets: &[DatasetSpec]) -> Vec<RunRecord> {
     let dev = Device::v100();
     run_matrix(&dev, algos, datasets)
 }

@@ -239,7 +239,10 @@ mod tests {
             paper_edges: 0,
             paper_avg_degree: 0.0,
             size_class: class,
-            gen: GenSpec::Er { n: 10, raw_edges: 10 },
+            gen: GenSpec::Er {
+                n: 10,
+                raw_edges: 10,
+            },
             seed: 0,
         }
     }
@@ -254,6 +257,7 @@ mod tests {
                 counters: ProfileCounters::default(),
                 verified: true,
             },
+            wall: std::time::Duration::ZERO,
         }
     }
 
@@ -277,11 +281,20 @@ mod tests {
         let claims = check_claims(&view, &datasets);
         // GroupTC loses s1? It wins m1 and loses s1 -> 1/2 wins is not a
         // majority, so claim 4 deviates; the others hold.
-        let c1 = claims.iter().find(|c| c.claim.contains("Polak is the fastest")).unwrap();
+        let c1 = claims
+            .iter()
+            .find(|c| c.claim.contains("Polak is the fastest"))
+            .unwrap();
         assert!(c1.holds, "{:?}", c1);
-        let c2 = claims.iter().find(|c| c.claim.contains("TRUST is a top-3")).unwrap();
+        let c2 = claims
+            .iter()
+            .find(|c| c.claim.contains("TRUST is a top-3"))
+            .unwrap();
         assert!(c2.holds, "{:?}", c2);
-        let c6 = claims.iter().find(|c| c.claim.contains("every dataset is won")).unwrap();
+        let c6 = claims
+            .iter()
+            .find(|c| c.claim.contains("every dataset is won"))
+            .unwrap();
         assert!(c6.holds, "{:?}", c6);
     }
 
@@ -295,7 +308,10 @@ mod tests {
         ];
         let view = MatrixView::new(&records);
         let claims = check_claims(&view, &datasets);
-        let c1 = claims.iter().find(|c| c.claim.contains("Polak is the fastest")).unwrap();
+        let c1 = claims
+            .iter()
+            .find(|c| c.claim.contains("Polak is the fastest"))
+            .unwrap();
         assert!(!c1.holds);
         assert!(c1.detail.contains("TRUST"));
         let text = render_claims(&claims);
@@ -311,6 +327,7 @@ mod tests {
                 algorithm: "H-INDEX".into(),
                 dataset: "s1",
                 outcome: RunOutcome::Failed(gpu_sim::SimError::KernelFault("x".into())),
+                wall: std::time::Duration::ZERO,
             },
             rec("GroupTC", "s1", 9),
             rec("TRUST", "s1", 30),

@@ -13,44 +13,74 @@ time_ms,global_load_requests,gld_transactions,gld_transactions_per_request,\
 dram_load_sectors,global_store_requests,global_atomic_requests,\
 warp_execution_efficiency,shared_requests,issued_slots";
 
+/// Header for [`write_records_timed`]: [`CSV_HEADER`] plus the measured
+/// host wall-clock column.
+pub const CSV_TIMED_HEADER: &str = "algorithm,dataset,status,triangles,verified,kernel_cycles,\
+time_ms,global_load_requests,gld_transactions,gld_transactions_per_request,\
+dram_load_sectors,global_store_requests,global_atomic_requests,\
+warp_execution_efficiency,shared_requests,issued_slots,host_wall_ms";
+
+/// One record's modelled columns (everything after `algorithm,dataset`).
+/// Shared by the deterministic and timed writers so the modelled part of
+/// a row is always byte-identical between the two.
+fn modelled_columns(r: &RunRecord) -> String {
+    match &r.outcome {
+        RunOutcome::Ok {
+            triangles,
+            kernel_cycles,
+            counters: c,
+            verified,
+        } => format!(
+            "ok,{},{},{},{:.6},{},{},{:.4},{},{},{},{:.4},{},{}",
+            triangles,
+            verified,
+            kernel_cycles,
+            cycles_to_ms(*kernel_cycles),
+            c.global_load_requests,
+            c.gld_transactions,
+            c.gld_transactions_per_request(),
+            c.dram_load_sectors,
+            c.global_store_requests,
+            c.global_atomic_requests,
+            c.warp_execution_efficiency(),
+            c.shared_load_requests + c.shared_store_requests + c.shared_atomic_requests,
+            c.issued_slots,
+        ),
+        // Errors may contain commas; quote the field.
+        RunOutcome::Failed(e) => format!(
+            "\"failed: {}\",,,,,,,,,,,,,",
+            e.to_string().replace('"', "'"),
+        ),
+    }
+}
+
 /// Write the matrix as CSV. Failed cells carry the error in `status` and
-/// empty numeric fields.
+/// empty numeric fields. Only modelled quantities are emitted, so the
+/// output is byte-identical between serial and parallel sweeps of the
+/// same inputs.
 pub fn write_records<W: Write>(mut w: W, records: &[RunRecord]) -> io::Result<()> {
     writeln!(w, "{CSV_HEADER}")?;
     for r in records {
-        match &r.outcome {
-            RunOutcome::Ok { triangles, kernel_cycles, counters: c, verified } => {
-                writeln!(
-                    w,
-                    "{},{},ok,{},{},{},{:.6},{},{},{:.4},{},{},{},{:.4},{},{}",
-                    r.algorithm,
-                    r.dataset,
-                    triangles,
-                    verified,
-                    kernel_cycles,
-                    cycles_to_ms(*kernel_cycles),
-                    c.global_load_requests,
-                    c.gld_transactions,
-                    c.gld_transactions_per_request(),
-                    c.dram_load_sectors,
-                    c.global_store_requests,
-                    c.global_atomic_requests,
-                    c.warp_execution_efficiency(),
-                    c.shared_load_requests + c.shared_store_requests + c.shared_atomic_requests,
-                    c.issued_slots,
-                )?;
-            }
-            RunOutcome::Failed(e) => {
-                // Errors may contain commas; quote the field.
-                writeln!(
-                    w,
-                    "{},{},\"failed: {}\",,,,,,,,,,,,",
-                    r.algorithm,
-                    r.dataset,
-                    e.to_string().replace('"', "'"),
-                )?;
-            }
-        }
+        writeln!(w, "{},{},{}", r.algorithm, r.dataset, modelled_columns(r))?;
+    }
+    Ok(())
+}
+
+/// Like [`write_records`], with a trailing `host_wall_ms` column holding
+/// the measured per-cell simulation wall time. This variant is NOT
+/// deterministic across runs — use it for throughput reporting, and
+/// [`write_records`] for comparable artifacts.
+pub fn write_records_timed<W: Write>(mut w: W, records: &[RunRecord]) -> io::Result<()> {
+    writeln!(w, "{CSV_TIMED_HEADER}")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{:.3}",
+            r.algorithm,
+            r.dataset,
+            modelled_columns(r),
+            r.wall.as_secs_f64() * 1e3,
+        )?;
     }
     Ok(())
 }
@@ -77,6 +107,7 @@ mod tests {
                     },
                     verified: true,
                 },
+                wall: std::time::Duration::from_millis(12),
             },
             RunRecord {
                 algorithm: "H-INDEX".into(),
@@ -84,6 +115,7 @@ mod tests {
                 outcome: RunOutcome::Failed(gpu_sim::SimError::KernelFault(
                     "overflow, with comma".into(),
                 )),
+                wall: std::time::Duration::from_millis(3),
             },
         ]
     }
@@ -104,6 +136,36 @@ mod tests {
         assert!(lines[2].contains("\"failed:"));
         // Header column count matches data column count.
         assert_eq!(lines[0].split(',').count(), ok_cells.len());
+    }
+
+    #[test]
+    fn failed_rows_have_full_column_count() {
+        let mut out = Vec::new();
+        write_records(&mut out, &records()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // The quoted status field contains a comma, so count raw commas:
+        // 15 separators + 1 inside the quoted error message.
+        assert_eq!(lines[2].matches(',').count(), 16);
+    }
+
+    #[test]
+    fn timed_csv_appends_wall_column() {
+        let mut out = Vec::new();
+        write_records_timed(&mut out, &records()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], CSV_TIMED_HEADER);
+        assert!(lines[0].ends_with(",host_wall_ms"));
+        assert!(lines[1].ends_with(",12.000"), "line: {}", lines[1]);
+        assert!(lines[2].ends_with(",3.000"), "line: {}", lines[2]);
+        // The modelled prefix is byte-identical to the deterministic CSV.
+        let mut plain = Vec::new();
+        write_records(&mut plain, &records()).unwrap();
+        let plain = String::from_utf8(plain).unwrap();
+        for (timed, plain) in lines[1..].iter().zip(plain.lines().skip(1)) {
+            assert!(timed.starts_with(plain));
+        }
     }
 
     #[test]

@@ -176,6 +176,30 @@ pub fn format_sig(v: f64) -> String {
     }
 }
 
+/// Summarize the measured host wall time of a sweep: total simulation
+/// time plus the slowest cells (the ones worth parallelizing over). The
+/// numbers are measured, not modelled — they vary run to run and are for
+/// operator feedback, not for figures.
+pub fn wall_summary(records: &[RunRecord], slowest: usize) -> String {
+    let total: f64 = records.iter().map(|r| r.wall.as_secs_f64()).sum();
+    let mut by_wall: Vec<&RunRecord> = records.iter().collect();
+    by_wall.sort_by_key(|r| std::cmp::Reverse(r.wall));
+    let mut out = format!(
+        "host wall time: {:.2}s across {} cells",
+        total,
+        records.len()
+    );
+    for r in by_wall.iter().take(slowest) {
+        out.push_str(&format!(
+            "\n  {:>8.1} ms  {} / {}",
+            r.wall.as_secs_f64() * 1e3,
+            r.algorithm,
+            r.dataset
+        ));
+    }
+    out
+}
+
 /// Extractors for the standard figures.
 pub mod extract {
     use super::RunOutcome;
@@ -199,9 +223,7 @@ pub mod extract {
     /// Figure 13(a): warp execution efficiency (%).
     pub fn warp_efficiency(o: &RunOutcome) -> Option<f64> {
         match o {
-            RunOutcome::Ok { counters, .. } => {
-                Some(counters.warp_execution_efficiency() * 100.0)
-            }
+            RunOutcome::Ok { counters, .. } => Some(counters.warp_execution_efficiency() * 100.0),
             RunOutcome::Failed(_) => None,
         }
     }
@@ -230,6 +252,7 @@ mod tests {
                 counters: ProfileCounters::default(),
                 verified: true,
             },
+            wall: std::time::Duration::from_millis(cycles),
         }
     }
 
@@ -274,6 +297,7 @@ mod tests {
                 algorithm: "H-INDEX".into(),
                 dataset: "ds1",
                 outcome: RunOutcome::Failed(gpu_sim::SimError::KernelFault("boom".into())),
+                wall: std::time::Duration::ZERO,
             },
         ];
         let view = MatrixView::new(&records);
@@ -285,6 +309,19 @@ mod tests {
         let polak = view.value("Polak", "ds1", extract::time_ms).unwrap();
         let trust = view.value("TRUST", "ds1", extract::time_ms).unwrap();
         assert!(polak > trust);
+    }
+
+    #[test]
+    fn wall_summary_totals_and_ranks() {
+        let records = vec![
+            ok_record("Polak", "ds1", 1000),
+            ok_record("TRUST", "ds1", 3000),
+        ];
+        let s = wall_summary(&records, 1);
+        assert!(s.contains("4.00s across 2 cells"), "summary: {s}");
+        // Only the slowest cell is listed.
+        assert!(s.contains("TRUST"));
+        assert!(!s.contains("Polak"));
     }
 
     #[test]

@@ -3,16 +3,31 @@
 //! preferred orientation — verifying every GPU count against the CPU
 //! reference. This produces the raw matrix behind Figures 11, 12, 13
 //! and 15.
+//!
+//! Two sweep drivers share the same per-cell code: [`run_matrix`]
+//! (serial, dataset-major) and [`run_matrix_parallel`], which fans the
+//! (algorithm x dataset) cells over a thread pool and returns records in
+//! the exact same order, with faulting cells isolated as
+//! [`RunOutcome::Failed`] instead of aborting the sweep.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use gpu_sim::{Device, ProfileCounters, SimError};
 use graph_data::{cpu_ref, orient, DagGraph, DatasetSpec, GraphStats, Orientation, UndirGraph};
 use tc_algos::api::TcAlgorithm;
 use tc_algos::device_graph::DeviceGraph;
 
+use rayon::prelude::*;
+
 /// A dataset after the preparation pipeline: generated (or loaded),
 /// cleaned, with statistics, ground truth, and oriented variants cached.
+///
+/// Every orientation the registered algorithm set can ask for is
+/// precomputed at preparation time, so running a cell needs only `&self`
+/// — which is what lets [`run_matrix_parallel`] share one prepared
+/// dataset across concurrent cells.
 pub struct PreparedDataset {
     pub spec: DatasetSpec,
     pub graph: UndirGraph,
@@ -21,6 +36,16 @@ pub struct PreparedDataset {
     pub ground_truth: u64,
     oriented: HashMap<Orientation, DagGraph>,
 }
+
+/// The orientations precomputed for every prepared dataset: the three
+/// standard relabelings, which cover every algorithm in the extended
+/// registry. Exotic orientations (`KCore`, `Random`) stay available
+/// through [`PreparedDataset::dag`]'s compute-on-demand fallback.
+const PRECOMPUTED_ORIENTATIONS: [Orientation; 3] = [
+    Orientation::ById,
+    Orientation::DegreeAsc,
+    Orientation::DegreeDesc,
+];
 
 impl PreparedDataset {
     /// Run the pipeline for one Table II dataset.
@@ -36,6 +61,9 @@ impl PreparedDataset {
         let ground_truth = cpu_ref::forward_merge_parallel(&reference);
         let mut oriented = HashMap::new();
         oriented.insert(Orientation::DegreeAsc, reference);
+        for o in PRECOMPUTED_ORIENTATIONS {
+            oriented.entry(o).or_insert_with(|| orient(&graph, o));
+        }
         PreparedDataset {
             spec,
             graph,
@@ -45,9 +73,15 @@ impl PreparedDataset {
         }
     }
 
-    /// The DAG under `o`, orienting lazily on first use.
-    pub fn dag(&mut self, o: Orientation) -> &DagGraph {
-        self.oriented.entry(o).or_insert_with(|| orient(&self.graph, o))
+    /// The DAG under `o`. Precomputed orientations (every orientation a
+    /// registered algorithm prefers) are served borrowed; anything else
+    /// is oriented on the fly, so the method needs only `&self` and a
+    /// prepared dataset can be shared across concurrent runner cells.
+    pub fn dag(&self, o: Orientation) -> Cow<'_, DagGraph> {
+        match self.oriented.get(&o) {
+            Some(d) => Cow::Borrowed(d),
+            None => Cow::Owned(orient(&self.graph, o)),
+        }
     }
 }
 
@@ -73,6 +107,11 @@ pub struct RunRecord {
     pub algorithm: String,
     pub dataset: &'static str,
     pub outcome: RunOutcome,
+    /// Host wall-clock time spent simulating this cell (upload, kernels
+    /// and verification). Unlike `outcome` this is measured, not
+    /// modelled: it varies run to run and is deliberately excluded from
+    /// the deterministic CSV emission.
+    pub wall: Duration,
 }
 
 impl RunRecord {
@@ -97,35 +136,51 @@ impl RunRecord {
 
 /// Run one algorithm on one prepared dataset (fresh device memory, the
 /// algorithm's preferred orientation) and verify the count.
-pub fn run_on_dataset(
-    dev: &Device,
-    algo: &dyn TcAlgorithm,
-    data: &mut PreparedDataset,
-) -> RunRecord {
+///
+/// Faults are isolated per cell: a kernel that accesses device memory
+/// out of bounds, overflows a fixed structure or exhausts device memory
+/// produces [`RunOutcome::Failed`] here and the caller's sweep continues.
+pub fn run_on_dataset(dev: &Device, algo: &dyn TcAlgorithm, data: &PreparedDataset) -> RunRecord {
+    let started = Instant::now();
     let ground_truth = data.ground_truth;
     let dataset = data.spec.name;
     let dag = data.dag(algo.preferred_orientation());
     let mut mem = gpu_sim::DeviceMem::new(dev);
-    let outcome = match DeviceGraph::upload(dag, &mut mem)
-        .and_then(|dg| algo.count(dev, &mut mem, &dg))
-    {
-        Ok(out) => RunOutcome::Ok {
-            triangles: out.triangles,
-            kernel_cycles: out.stats.kernel_cycles,
-            counters: out.stats.counters,
-            verified: out.triangles == ground_truth,
-        },
-        Err(e) => RunOutcome::Failed(e),
-    };
+    let outcome =
+        match DeviceGraph::upload(&dag, &mut mem).and_then(|dg| algo.count(dev, &mut mem, &dg)) {
+            Ok(out) => {
+                // Tightened invariant: a successful count on a graph with
+                // edges must have cost at least one modelled cycle; only the
+                // empty graph may report a zero-cycle kernel. An algorithm
+                // that "succeeds" without doing modelled work is a bug in
+                // its instrumentation, and recording it as failed keeps
+                // downstream `kernel_cycles > 0` assumptions honest.
+                if out.stats.kernel_cycles == 0 && dag.num_edges() > 0 {
+                    RunOutcome::Failed(SimError::KernelFault(format!(
+                        "{} reported zero kernel cycles on a non-empty graph",
+                        algo.name()
+                    )))
+                } else {
+                    RunOutcome::Ok {
+                        triangles: out.triangles,
+                        kernel_cycles: out.stats.kernel_cycles,
+                        counters: out.stats.counters,
+                        verified: out.triangles == ground_truth,
+                    }
+                }
+            }
+            Err(e) => RunOutcome::Failed(e),
+        };
     RunRecord {
         algorithm: algo.name().to_string(),
         dataset,
         outcome,
+        wall: started.elapsed(),
     }
 }
 
-/// The full evaluation sweep: every algorithm on every dataset, in the
-/// given orders. Returns one record per cell.
+/// The full evaluation sweep: every algorithm on every dataset, serially,
+/// dataset-major. Returns one record per cell.
 pub fn run_matrix(
     dev: &Device,
     algos: &[Box<dyn TcAlgorithm>],
@@ -133,12 +188,34 @@ pub fn run_matrix(
 ) -> Vec<RunRecord> {
     let mut records = Vec::with_capacity(algos.len() * datasets.len());
     for spec in datasets {
-        let mut data = PreparedDataset::prepare(spec);
+        let data = PreparedDataset::prepare(spec);
         for algo in algos {
-            records.push(run_on_dataset(dev, algo.as_ref(), &mut data));
+            records.push(run_on_dataset(dev, algo.as_ref(), &data));
         }
     }
     records
+}
+
+/// The full evaluation sweep, parallel and fault-isolated: datasets are
+/// prepared concurrently, then every (algorithm, dataset) cell is fanned
+/// over the thread pool. Records come back in exactly [`run_matrix`]'s
+/// order (dataset-major), and because the simulator is deterministic the
+/// modelled outcomes are identical to the serial sweep's — only the
+/// measured [`RunRecord::wall`] fields differ.
+pub fn run_matrix_parallel(
+    dev: &Device,
+    algos: &[Box<dyn TcAlgorithm>],
+    datasets: &[DatasetSpec],
+) -> Vec<RunRecord> {
+    let prepared: Vec<PreparedDataset> =
+        datasets.par_iter().map(PreparedDataset::prepare).collect();
+    let cells: Vec<(usize, usize)> = (0..datasets.len())
+        .flat_map(|d| (0..algos.len()).map(move |a| (d, a)))
+        .collect();
+    cells
+        .into_par_iter()
+        .map(|(d, a)| run_on_dataset(dev, algos[a].as_ref(), &prepared[d]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -154,7 +231,10 @@ mod tests {
             paper_edges: 0,
             paper_avg_degree: 0.0,
             size_class: SizeClass::Small,
-            gen: GenSpec::Rmat { scale: 10, raw_edges: 8000 },
+            gen: GenSpec::Rmat {
+                scale: 10,
+                raw_edges: 8000,
+            },
             seed: 7,
         }
     }
@@ -163,12 +243,16 @@ mod tests {
     fn all_nine_algorithms_verify_on_tiny_dataset() {
         let dev = Device::v100();
         let algos = all_algorithms();
-        let mut data = PreparedDataset::prepare(&tiny_spec());
+        let data = PreparedDataset::prepare(&tiny_spec());
         assert!(data.ground_truth > 0, "fixture should contain triangles");
         for algo in &algos {
-            let rec = run_on_dataset(&dev, algo.as_ref(), &mut data);
+            let rec = run_on_dataset(&dev, algo.as_ref(), &data);
             match &rec.outcome {
-                RunOutcome::Ok { verified, triangles, .. } => {
+                RunOutcome::Ok {
+                    verified,
+                    triangles,
+                    ..
+                } => {
                     assert!(
                         verified,
                         "{}: counted {} expected {}",
@@ -194,9 +278,120 @@ mod tests {
 
     #[test]
     fn oriented_variants_cached() {
-        let mut data = PreparedDataset::prepare(&tiny_spec());
+        let data = PreparedDataset::prepare(&tiny_spec());
+        // The standard orientations are precomputed, so `dag` serves them
+        // borrowed from shared state; an exotic orientation falls back to
+        // computing an owned DAG on the fly.
+        for o in PRECOMPUTED_ORIENTATIONS {
+            assert!(
+                matches!(data.dag(o), Cow::Borrowed(_)),
+                "{o:?} should be precomputed"
+            );
+        }
+        assert!(matches!(data.dag(Orientation::Random(3)), Cow::Owned(_)));
         let e1 = data.dag(Orientation::ById).num_edges();
         let e2 = data.dag(Orientation::DegreeAsc).num_edges();
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        let dev = Device::v100();
+        let algos = all_algorithms();
+        let specs = [tiny_spec()];
+        let serial = run_matrix(&dev, &algos, &specs);
+        let parallel = run_matrix_parallel(&dev, &algos, &specs);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.algorithm, p.algorithm);
+            assert_eq!(s.dataset, p.dataset);
+            match (&s.outcome, &p.outcome) {
+                (
+                    RunOutcome::Ok {
+                        triangles: st,
+                        kernel_cycles: sc,
+                        counters: sk,
+                        verified: sv,
+                    },
+                    RunOutcome::Ok {
+                        triangles: pt,
+                        kernel_cycles: pc,
+                        counters: pk,
+                        verified: pv,
+                    },
+                ) => {
+                    assert_eq!(st, pt, "{}", s.algorithm);
+                    assert_eq!(sc, pc, "{}", s.algorithm);
+                    assert_eq!(sk, pk, "{}", s.algorithm);
+                    assert_eq!(sv, pv, "{}", s.algorithm);
+                }
+                (a, b) => panic!("outcome mismatch for {}: {a:?} vs {b:?}", s.algorithm),
+            }
+        }
+    }
+
+    /// An "implementation" that reads past its edge buffer, like a real
+    /// kernel with an off-by-one: the sweep must record the fault and
+    /// keep going.
+    struct OobAlgo;
+
+    impl tc_algos::api::TcAlgorithm for OobAlgo {
+        fn meta(&self) -> tc_algos::api::AlgoMeta {
+            tc_algos::api::AlgoMeta {
+                name: "oob-probe",
+                reference: "synthetic fault probe",
+                year: 2024,
+                iterator: tc_algos::api::IteratorKind::Edge,
+                intersection: tc_algos::api::Intersection::Merge,
+                granularity: tc_algos::api::Granularity::Coarse,
+            }
+        }
+
+        fn count(
+            &self,
+            dev: &Device,
+            mem: &mut gpu_sim::DeviceMem,
+            dg: &DeviceGraph,
+        ) -> Result<tc_algos::api::TcOutput, SimError> {
+            let edges = dg.num_edges as usize;
+            let dst = dg.edge_dst;
+            let stats = dev.launch(mem, gpu_sim::KernelConfig::new(4, 128), move |blk| {
+                blk.phase(move |lane| {
+                    // Off-by-a-lot: indexes way past the edge list.
+                    let _ = lane.ld_global(dst, edges + lane.global_tid() as usize);
+                });
+            })?;
+            Ok(tc_algos::api::TcOutput {
+                triangles: 0,
+                stats,
+            })
+        }
+    }
+
+    #[test]
+    fn faulting_algorithm_is_isolated() {
+        let dev = Device::v100();
+        let mut algos = all_algorithms();
+        algos.push(Box::new(OobAlgo));
+        let specs = [tiny_spec()];
+        let records = run_matrix_parallel(&dev, &algos, &specs);
+        assert_eq!(records.len(), algos.len());
+        let failed: Vec<&RunRecord> = records
+            .iter()
+            .filter(|r| matches!(r.outcome, RunOutcome::Failed(_)))
+            .collect();
+        assert_eq!(failed.len(), 1, "only the probe fails");
+        assert_eq!(failed[0].algorithm, "oob-probe");
+        assert!(matches!(
+            failed[0].outcome,
+            RunOutcome::Failed(SimError::MemoryFault { .. })
+        ));
+        assert!(
+            records
+                .iter()
+                .filter(|r| r.algorithm != "oob-probe")
+                .all(|r| r.is_verified()),
+            "healthy cells still verify"
+        );
     }
 }

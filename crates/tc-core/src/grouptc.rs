@@ -77,15 +77,24 @@ impl GroupTc {
 
     /// A variant with one optimization disabled (for ablations).
     pub fn without_partial_two_hop() -> Self {
-        GroupTc::new(GroupTcConfig { partial_two_hop: false, ..Default::default() })
+        GroupTc::new(GroupTcConfig {
+            partial_two_hop: false,
+            ..Default::default()
+        })
     }
 
     pub fn without_resume_offset() -> Self {
-        GroupTc::new(GroupTcConfig { resume_offset: false, ..Default::default() })
+        GroupTc::new(GroupTcConfig {
+            resume_offset: false,
+            ..Default::default()
+        })
     }
 
     pub fn without_flip_tables() -> Self {
-        GroupTc::new(GroupTcConfig { flip_tables: false, ..Default::default() })
+        GroupTc::new(GroupTcConfig {
+            flip_tables: false,
+            ..Default::default()
+        })
     }
 }
 
@@ -335,7 +344,10 @@ mod tests {
     #[test]
     fn chunk_size_sweep_is_exact() {
         for chunk in [32, 64, 128, 512, 1024] {
-            let algo = GroupTc::new(GroupTcConfig { chunk_size: chunk, ..Default::default() });
+            let algo = GroupTc::new(GroupTcConfig {
+                chunk_size: chunk,
+                ..Default::default()
+            });
             testutil::assert_matches_reference(
                 &algo,
                 &testutil::figure1_edges(),
@@ -369,8 +381,7 @@ mod tests {
         let without = run(&GroupTc::without_partial_two_hop());
         assert_eq!(with.triangles, without.triangles);
         assert!(
-            with.stats.counters.global_load_requests
-                < without.stats.counters.global_load_requests,
+            with.stats.counters.global_load_requests < without.stats.counters.global_load_requests,
             "partial 2-hop should cut load requests ({} vs {})",
             with.stats.counters.global_load_requests,
             without.stats.counters.global_load_requests

@@ -64,7 +64,11 @@ impl GroupTcHybrid {
             };
             let v_len = g.host_out_degree(v);
             let take_u = !self.config.flip_tables || su_len * 2 >= v_len;
-            let (k_len, t_len) = if take_u { (v_len, su_len) } else { (su_len, v_len) };
+            let (k_len, t_len) = if take_u {
+                (v_len, su_len)
+            } else {
+                (su_len, v_len)
+            };
             if t_len >= HASH_TABLE_MIN && k_len >= HASH_KEYS_MIN {
                 heavy.push(e);
             } else {
@@ -101,8 +105,14 @@ impl TcAlgorithm for GroupTcHybrid {
                 stats += run_chunked(dev, mem, g, self.config, None, counter)?;
             } else {
                 let ids = mem.alloc_from_slice(&light, "grouptc_h.light_ids")?;
-                stats +=
-                    run_chunked(dev, mem, g, self.config, Some((ids, light.len() as u32)), counter)?;
+                stats += run_chunked(
+                    dev,
+                    mem,
+                    g,
+                    self.config,
+                    Some((ids, light.len() as u32)),
+                    counter,
+                )?;
                 mem.free(ids);
             }
         }
@@ -216,8 +226,7 @@ fn hash_pass(
                         let len = lane.ld_shared(bucket as usize);
                         let mut found = false;
                         for row in 0..len.min(ROWS) {
-                            let x = lane
-                                .ld_shared((BUCKETS + row * BUCKETS + bucket) as usize);
+                            let x = lane.ld_shared((BUCKETS + row * BUCKETS + bucket) as usize);
                             lane.compute(1);
                             if x == key {
                                 found = true;
@@ -281,7 +290,10 @@ mod tests {
             let (g, _) = clean_edges(&raw);
             let dag = orient(&g, Orientation::DegreeAsc);
             let expected = cpu_ref::forward_merge(&dag);
-            assert_eq!(testutil::run_on_dag(&GroupTcHybrid::default(), &dag), expected);
+            assert_eq!(
+                testutil::run_on_dag(&GroupTcHybrid::default(), &dag),
+                expected
+            );
         }
     }
 

@@ -18,6 +18,8 @@ pub mod grouptc;
 pub mod grouptc_hybrid;
 
 pub use framework::registry::all_algorithms;
-pub use framework::runner::{run_matrix, run_on_dataset, PreparedDataset, RunOutcome, RunRecord};
+pub use framework::runner::{
+    run_matrix, run_matrix_parallel, run_on_dataset, PreparedDataset, RunOutcome, RunRecord,
+};
 pub use grouptc::{GroupTc, GroupTcConfig};
 pub use grouptc_hybrid::GroupTcHybrid;

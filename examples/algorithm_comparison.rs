@@ -13,17 +13,16 @@ use tc_compare::graph::DatasetSpec;
 use tc_compare::sim::Device;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Email-EuAll".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Email-EuAll".to_string());
     let spec = DatasetSpec::by_name(&name)
         .ok_or_else(|| format!("unknown dataset `{name}` (see Table II)"))?;
     eprintln!("preparing {} stand-in...", spec.name);
-    let mut data = PreparedDataset::prepare(spec);
+    let data = PreparedDataset::prepare(spec);
     println!(
         "dataset {}: {} vertices, {} edges, {} triangles (CPU reference)",
-        spec.name,
-        data.stats.vertices,
-        data.stats.edges,
-        data.ground_truth
+        spec.name, data.stats.vertices, data.stats.edges, data.ground_truth
     );
 
     let device = Device::v100();
@@ -38,9 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     for algo in all_algorithms() {
         eprintln!("running {}...", algo.name());
-        let rec = run_on_dataset(&device, algo.as_ref(), &mut data);
+        let rec = run_on_dataset(&device, algo.as_ref(), &data);
         match rec.outcome {
-            RunOutcome::Ok { triangles, kernel_cycles, counters, verified } => {
+            RunOutcome::Ok {
+                triangles,
+                kernel_cycles,
+                counters,
+                verified,
+            } => {
                 t.row(vec![
                     rec.algorithm,
                     triangles.to_string(),

@@ -15,7 +15,9 @@ use tc_compare::graph::{orient, DatasetSpec, Orientation};
 use tc_compare::sim::{Device, DeviceMem};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Com-Dblp".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Com-Dblp".to_string());
     let spec = DatasetSpec::by_name(&name)
         .ok_or_else(|| format!("unknown dataset `{name}` (see Table II)"))?;
     eprintln!("building {} stand-in...", spec.name);
@@ -42,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3.0 * result.triangles as f64 / wedges as f64
     };
     println!("dataset:               {}", spec.name);
-    println!("vertices / edges:      {} / {}", graph.num_vertices(), graph.num_edges());
+    println!(
+        "vertices / edges:      {} / {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     println!("triangles:             {}", result.triangles);
     println!("wedges:                {wedges}");
     println!("clustering coefficient: {coefficient:.4}");

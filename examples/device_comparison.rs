@@ -7,15 +7,17 @@
 //! cargo run --release --example device_comparison [dataset-name]
 //! ```
 
-use tc_compare::algos::{DeviceGraph, TcAlgorithm};
 use tc_compare::algos::{polak::Polak, tricore::TriCore, trust::Trust};
+use tc_compare::algos::{DeviceGraph, TcAlgorithm};
 use tc_compare::core::framework::report::{cycles_to_ms, Table};
 use tc_compare::core::GroupTc;
 use tc_compare::graph::{orient, DatasetSpec};
 use tc_compare::sim::{Device, DeviceMem};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Soc-Slashdot0922".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Soc-Slashdot0922".to_string());
     let spec = DatasetSpec::by_name(&name)
         .ok_or_else(|| format!("unknown dataset `{name}` (see Table II)"))?;
     eprintln!("building {} stand-in...", spec.name);

@@ -18,10 +18,7 @@ use tc_compare::graph::{clean_edges, gen, io, orient, EdgeList, Orientation};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (raw, out_dir): (EdgeList, PathBuf) = match args.as_slice() {
-        [input, out] => (
-            io::read_edges_auto(File::open(input)?)?,
-            PathBuf::from(out),
-        ),
+        [input, out] => (io::read_edges_auto(File::open(input)?)?, PathBuf::from(out)),
         [] => {
             let dir = std::env::temp_dir().join("tc-compare-convert-demo");
             (gen::rmat(12, 40_000, 0.57, 0.19, 0.19, 0.05, 1), dir)
@@ -58,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     io::write_csr(File::create(&csr_path)?, dag.csr())?;
 
     for p in [&text_path, &bin_path, &csr_path] {
-        println!("wrote {} ({} bytes)", p.display(), std::fs::metadata(p)?.len());
+        println!(
+            "wrote {} ({} bytes)",
+            p.display(),
+            std::fs::metadata(p)?.len()
+        );
     }
 
     // Round-trip check through the auto-detecting reader.

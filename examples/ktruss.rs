@@ -83,8 +83,14 @@ fn k_truss(edges: &[(u32, u32)], k: u32) -> Vec<(u32, u32)> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "As-Caida".to_string());
-    let k: u32 = std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "As-Caida".to_string());
+    let k: u32 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(4);
     let spec = DatasetSpec::by_name(&name)
         .ok_or_else(|| format!("unknown dataset `{name}` (see Table II)"))?;
     eprintln!("building {} stand-in...", spec.name);

@@ -8,10 +8,10 @@
 //! list, or a binary CSR (auto-detected). Without one, a small synthetic
 //! social network is generated.
 
+use tc_compare::algos::{DeviceGraph, TcAlgorithm};
 use tc_compare::core::GroupTc;
 use tc_compare::graph::{clean_edges, gen, io, orient, Orientation};
 use tc_compare::sim::{Device, DeviceMem};
-use tc_compare::algos::{DeviceGraph, TcAlgorithm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Get an edge list: from a file, or generated.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grouptc-23f40fc4c6d138db.d: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+/root/repo/target/debug/deps/ablation_grouptc-23f40fc4c6d138db: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+crates/tc-bench/src/bin/ablation_grouptc.rs:

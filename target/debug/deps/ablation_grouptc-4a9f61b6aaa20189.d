@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grouptc-4a9f61b6aaa20189.d: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+/root/repo/target/debug/deps/ablation_grouptc-4a9f61b6aaa20189: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+crates/tc-bench/src/bin/ablation_grouptc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grouptc-6174a984d4337700.d: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+/root/repo/target/debug/deps/ablation_grouptc-6174a984d4337700: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+crates/tc-bench/src/bin/ablation_grouptc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_grouptc-a0b0c82110bc4fce.d: crates/tc-bench/src/bin/ablation_grouptc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_grouptc-a0b0c82110bc4fce.rmeta: crates/tc-bench/src/bin/ablation_grouptc.rs Cargo.toml
+
+crates/tc-bench/src/bin/ablation_grouptc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_grouptc-a7b256193418afa2.d: crates/tc-bench/src/bin/ablation_grouptc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_grouptc-a7b256193418afa2.rmeta: crates/tc-bench/src/bin/ablation_grouptc.rs Cargo.toml
+
+crates/tc-bench/src/bin/ablation_grouptc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

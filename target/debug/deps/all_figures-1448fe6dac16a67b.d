@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-1448fe6dac16a67b.d: crates/tc-bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-1448fe6dac16a67b: crates/tc-bench/src/bin/all_figures.rs
+
+crates/tc-bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-4941a0d2ca99417d.d: crates/tc-bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-4941a0d2ca99417d: crates/tc-bench/src/bin/all_figures.rs
+
+crates/tc-bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_figures-5da0f1139a62b2fc.d: crates/tc-bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_figures-5da0f1139a62b2fc.rmeta: crates/tc-bench/src/bin/all_figures.rs Cargo.toml
+
+crates/tc-bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-7e3251f2ae48827a.d: crates/tc-bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-7e3251f2ae48827a: crates/tc-bench/src/bin/all_figures.rs
+
+crates/tc-bench/src/bin/all_figures.rs:

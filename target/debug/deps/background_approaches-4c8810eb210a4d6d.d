@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background_approaches-4c8810eb210a4d6d.d: crates/tc-bench/src/bin/background_approaches.rs
+
+/root/repo/target/debug/deps/background_approaches-4c8810eb210a4d6d: crates/tc-bench/src/bin/background_approaches.rs
+
+crates/tc-bench/src/bin/background_approaches.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/background_approaches-c5ad7769f355b362.d: crates/tc-bench/src/bin/background_approaches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackground_approaches-c5ad7769f355b362.rmeta: crates/tc-bench/src/bin/background_approaches.rs Cargo.toml
+
+crates/tc-bench/src/bin/background_approaches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background_approaches-ed23f7d9b06fd552.d: crates/tc-bench/src/bin/background_approaches.rs
+
+/root/repo/target/debug/deps/background_approaches-ed23f7d9b06fd552: crates/tc-bench/src/bin/background_approaches.rs
+
+crates/tc-bench/src/bin/background_approaches.rs:

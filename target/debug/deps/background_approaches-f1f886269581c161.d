@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background_approaches-f1f886269581c161.d: crates/tc-bench/src/bin/background_approaches.rs
+
+/root/repo/target/debug/deps/background_approaches-f1f886269581c161: crates/tc-bench/src/bin/background_approaches.rs
+
+crates/tc-bench/src/bin/background_approaches.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f2f978ba3c7455ac.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f2f978ba3c7455ac.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f2f978ba3c7455ac.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

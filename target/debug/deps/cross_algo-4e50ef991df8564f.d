@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_algo-4e50ef991df8564f.d: crates/tc-algos/tests/cross_algo.rs
+
+/root/repo/target/debug/deps/cross_algo-4e50ef991df8564f: crates/tc-algos/tests/cross_algo.rs
+
+crates/tc-algos/tests/cross_algo.rs:

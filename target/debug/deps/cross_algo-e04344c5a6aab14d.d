@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_algo-e04344c5a6aab14d.d: crates/tc-algos/tests/cross_algo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_algo-e04344c5a6aab14d.rmeta: crates/tc-algos/tests/cross_algo.rs Cargo.toml
+
+crates/tc-algos/tests/cross_algo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

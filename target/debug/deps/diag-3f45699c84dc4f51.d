@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-3f45699c84dc4f51.d: crates/tc-bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-3f45699c84dc4f51: crates/tc-bench/src/bin/diag.rs
+
+crates/tc-bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-51f4bbc6054e4156.d: crates/tc-bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-51f4bbc6054e4156: crates/tc-bench/src/bin/diag.rs
+
+crates/tc-bench/src/bin/diag.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag-6f768aeb6dff655f.d: crates/tc-bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-6f768aeb6dff655f.rmeta: crates/tc-bench/src/bin/diag.rs Cargo.toml
+
+crates/tc-bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag-b37afa10a1232b21.d: crates/tc-bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-b37afa10a1232b21.rmeta: crates/tc-bench/src/bin/diag.rs Cargo.toml
+
+crates/tc-bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

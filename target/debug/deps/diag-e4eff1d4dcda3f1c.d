@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-e4eff1d4dcda3f1c.d: crates/tc-bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-e4eff1d4dcda3f1c: crates/tc-bench/src/bin/diag.rs
+
+crates/tc-bench/src/bin/diag.rs:

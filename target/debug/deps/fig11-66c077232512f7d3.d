@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-66c077232512f7d3.d: crates/tc-bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-66c077232512f7d3.rmeta: crates/tc-bench/src/bin/fig11.rs Cargo.toml
+
+crates/tc-bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

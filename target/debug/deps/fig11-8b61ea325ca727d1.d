@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-8b61ea325ca727d1.d: crates/tc-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-8b61ea325ca727d1: crates/tc-bench/src/bin/fig11.rs
+
+crates/tc-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-8c91c487dcccc568.d: crates/tc-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-8c91c487dcccc568: crates/tc-bench/src/bin/fig11.rs
+
+crates/tc-bench/src/bin/fig11.rs:

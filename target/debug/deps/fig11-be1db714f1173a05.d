@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-be1db714f1173a05.d: crates/tc-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-be1db714f1173a05: crates/tc-bench/src/bin/fig11.rs
+
+crates/tc-bench/src/bin/fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-e9082397d86fc87e.d: crates/tc-bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-e9082397d86fc87e.rmeta: crates/tc-bench/src/bin/fig11.rs Cargo.toml
+
+crates/tc-bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

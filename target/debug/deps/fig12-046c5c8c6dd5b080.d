@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-046c5c8c6dd5b080.d: crates/tc-bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-046c5c8c6dd5b080.rmeta: crates/tc-bench/src/bin/fig12.rs Cargo.toml
+
+crates/tc-bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

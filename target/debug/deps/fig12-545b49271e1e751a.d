@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-545b49271e1e751a.d: crates/tc-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-545b49271e1e751a: crates/tc-bench/src/bin/fig12.rs
+
+crates/tc-bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-7a449e1b2e488bb7.d: crates/tc-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-7a449e1b2e488bb7: crates/tc-bench/src/bin/fig12.rs
+
+crates/tc-bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-db2077ea78f3c30a.d: crates/tc-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-db2077ea78f3c30a: crates/tc-bench/src/bin/fig12.rs
+
+crates/tc-bench/src/bin/fig12.rs:

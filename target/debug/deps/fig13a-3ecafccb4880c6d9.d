@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13a-3ecafccb4880c6d9.d: crates/tc-bench/src/bin/fig13a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13a-3ecafccb4880c6d9.rmeta: crates/tc-bench/src/bin/fig13a.rs Cargo.toml
+
+crates/tc-bench/src/bin/fig13a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a-63bd6cfb4368d8ff.d: crates/tc-bench/src/bin/fig13a.rs
+
+/root/repo/target/debug/deps/fig13a-63bd6cfb4368d8ff: crates/tc-bench/src/bin/fig13a.rs
+
+crates/tc-bench/src/bin/fig13a.rs:

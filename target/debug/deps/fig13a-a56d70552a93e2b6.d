@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a-a56d70552a93e2b6.d: crates/tc-bench/src/bin/fig13a.rs
+
+/root/repo/target/debug/deps/fig13a-a56d70552a93e2b6: crates/tc-bench/src/bin/fig13a.rs
+
+crates/tc-bench/src/bin/fig13a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a-ff723a26937306f8.d: crates/tc-bench/src/bin/fig13a.rs
+
+/root/repo/target/debug/deps/fig13a-ff723a26937306f8: crates/tc-bench/src/bin/fig13a.rs
+
+crates/tc-bench/src/bin/fig13a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b-0f94bf3d382eccbc.d: crates/tc-bench/src/bin/fig13b.rs
+
+/root/repo/target/debug/deps/fig13b-0f94bf3d382eccbc: crates/tc-bench/src/bin/fig13b.rs
+
+crates/tc-bench/src/bin/fig13b.rs:

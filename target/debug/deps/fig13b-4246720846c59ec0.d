@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b-4246720846c59ec0.d: crates/tc-bench/src/bin/fig13b.rs
+
+/root/repo/target/debug/deps/fig13b-4246720846c59ec0: crates/tc-bench/src/bin/fig13b.rs
+
+crates/tc-bench/src/bin/fig13b.rs:

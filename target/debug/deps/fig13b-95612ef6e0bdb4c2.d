@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b-95612ef6e0bdb4c2.d: crates/tc-bench/src/bin/fig13b.rs
+
+/root/repo/target/debug/deps/fig13b-95612ef6e0bdb4c2: crates/tc-bench/src/bin/fig13b.rs
+
+crates/tc-bench/src/bin/fig13b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13b-ba1cc74079490dd5.d: crates/tc-bench/src/bin/fig13b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13b-ba1cc74079490dd5.rmeta: crates/tc-bench/src/bin/fig13b.rs Cargo.toml
+
+crates/tc-bench/src/bin/fig13b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

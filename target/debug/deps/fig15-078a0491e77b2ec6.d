@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-078a0491e77b2ec6.d: crates/tc-bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-078a0491e77b2ec6: crates/tc-bench/src/bin/fig15.rs
+
+crates/tc-bench/src/bin/fig15.rs:

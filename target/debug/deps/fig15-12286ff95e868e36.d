@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-12286ff95e868e36.d: crates/tc-bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-12286ff95e868e36: crates/tc-bench/src/bin/fig15.rs
+
+crates/tc-bench/src/bin/fig15.rs:

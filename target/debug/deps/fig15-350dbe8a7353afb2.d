@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-350dbe8a7353afb2.d: crates/tc-bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-350dbe8a7353afb2.rmeta: crates/tc-bench/src/bin/fig15.rs Cargo.toml
+
+crates/tc-bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-a4efbd177c0bc28f.d: crates/tc-bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-a4efbd177c0bc28f: crates/tc-bench/src/bin/fig15.rs
+
+crates/tc-bench/src/bin/fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-baa13bcaeb7c41b5.d: crates/tc-bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-baa13bcaeb7c41b5.rmeta: crates/tc-bench/src/bin/fig15.rs Cargo.toml
+
+crates/tc-bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_pipeline-33ad6d0607184bec.d: tests/framework_pipeline.rs
+
+/root/repo/target/debug/deps/framework_pipeline-33ad6d0607184bec: tests/framework_pipeline.rs
+
+tests/framework_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_pipeline-9a4d0012f9d1fdab.d: tests/framework_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_pipeline-9a4d0012f9d1fdab.rmeta: tests/framework_pipeline.rs Cargo.toml
+
+tests/framework_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

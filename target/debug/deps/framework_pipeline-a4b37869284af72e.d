@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_pipeline-a4b37869284af72e.d: tests/framework_pipeline.rs
+
+/root/repo/target/debug/deps/framework_pipeline-a4b37869284af72e: tests/framework_pipeline.rs
+
+tests/framework_pipeline.rs:

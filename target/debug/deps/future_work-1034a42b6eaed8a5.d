@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_work-1034a42b6eaed8a5.d: crates/tc-bench/src/bin/future_work.rs
+
+/root/repo/target/debug/deps/future_work-1034a42b6eaed8a5: crates/tc-bench/src/bin/future_work.rs
+
+crates/tc-bench/src/bin/future_work.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_work-32fb3d8d9577d7fa.d: crates/tc-bench/src/bin/future_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_work-32fb3d8d9577d7fa.rmeta: crates/tc-bench/src/bin/future_work.rs Cargo.toml
+
+crates/tc-bench/src/bin/future_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

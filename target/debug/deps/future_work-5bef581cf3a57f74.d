@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_work-5bef581cf3a57f74.d: crates/tc-bench/src/bin/future_work.rs
+
+/root/repo/target/debug/deps/future_work-5bef581cf3a57f74: crates/tc-bench/src/bin/future_work.rs
+
+crates/tc-bench/src/bin/future_work.rs:

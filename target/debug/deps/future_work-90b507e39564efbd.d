@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_work-90b507e39564efbd.d: crates/tc-bench/src/bin/future_work.rs
+
+/root/repo/target/debug/deps/future_work-90b507e39564efbd: crates/tc-bench/src/bin/future_work.rs
+
+crates/tc-bench/src/bin/future_work.rs:

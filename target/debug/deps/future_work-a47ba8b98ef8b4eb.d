@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_work-a47ba8b98ef8b4eb.d: crates/tc-bench/src/bin/future_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_work-a47ba8b98ef8b4eb.rmeta: crates/tc-bench/src/bin/future_work.rs Cargo.toml
+
+crates/tc-bench/src/bin/future_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gpu_sim-02288da0a8ba693f.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/schedule.rs crates/gpu-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_sim-02288da0a8ba693f.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/schedule.rs crates/gpu-sim/src/trace.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/error.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/mem.rs:
+crates/gpu-sim/src/schedule.rs:
+crates/gpu-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grouptc-e84957a5ec0b2882.d: crates/tc-bench/benches/grouptc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrouptc-e84957a5ec0b2882.rmeta: crates/tc-bench/benches/grouptc.rs Cargo.toml
+
+crates/tc-bench/benches/grouptc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_correctness-0e179a5365c12b51.d: tests/integration_correctness.rs
+
+/root/repo/target/debug/deps/integration_correctness-0e179a5365c12b51: tests/integration_correctness.rs
+
+tests/integration_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_correctness-b99b26cebbbb5d52.d: tests/integration_correctness.rs
+
+/root/repo/target/debug/deps/integration_correctness-b99b26cebbbb5d52: tests/integration_correctness.rs
+
+tests/integration_correctness.rs:

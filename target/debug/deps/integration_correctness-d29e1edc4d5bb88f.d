@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_correctness-d29e1edc4d5bb88f.d: tests/integration_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_correctness-d29e1edc4d5bb88f.rmeta: tests/integration_correctness.rs Cargo.toml
+
+tests/integration_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-3823b28a27a29dc5.d: crates/tc-bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-3823b28a27a29dc5.rmeta: crates/tc-bench/benches/kernels.rs Cargo.toml
+
+crates/tc-bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

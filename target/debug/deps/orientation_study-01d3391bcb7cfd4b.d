@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/orientation_study-01d3391bcb7cfd4b.d: crates/tc-bench/src/bin/orientation_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborientation_study-01d3391bcb7cfd4b.rmeta: crates/tc-bench/src/bin/orientation_study.rs Cargo.toml
+
+crates/tc-bench/src/bin/orientation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

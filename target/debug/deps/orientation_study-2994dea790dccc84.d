@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/orientation_study-2994dea790dccc84.d: crates/tc-bench/src/bin/orientation_study.rs
+
+/root/repo/target/debug/deps/orientation_study-2994dea790dccc84: crates/tc-bench/src/bin/orientation_study.rs
+
+crates/tc-bench/src/bin/orientation_study.rs:

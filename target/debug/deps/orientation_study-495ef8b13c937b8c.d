@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/orientation_study-495ef8b13c937b8c.d: crates/tc-bench/src/bin/orientation_study.rs
+
+/root/repo/target/debug/deps/orientation_study-495ef8b13c937b8c: crates/tc-bench/src/bin/orientation_study.rs
+
+crates/tc-bench/src/bin/orientation_study.rs:

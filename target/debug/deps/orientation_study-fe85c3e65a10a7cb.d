@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/orientation_study-fe85c3e65a10a7cb.d: crates/tc-bench/src/bin/orientation_study.rs
+
+/root/repo/target/debug/deps/orientation_study-fe85c3e65a10a7cb: crates/tc-bench/src/bin/orientation_study.rs
+
+crates/tc-bench/src/bin/orientation_study.rs:

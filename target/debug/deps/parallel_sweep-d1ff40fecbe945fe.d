@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_sweep-d1ff40fecbe945fe.d: tests/parallel_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_sweep-d1ff40fecbe945fe.rmeta: tests/parallel_sweep.rs Cargo.toml
+
+tests/parallel_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

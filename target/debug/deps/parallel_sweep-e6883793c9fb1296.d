@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sweep-e6883793c9fb1296.d: tests/parallel_sweep.rs
+
+/root/repo/target/debug/deps/parallel_sweep-e6883793c9fb1296: tests/parallel_sweep.rs
+
+tests/parallel_sweep.rs:

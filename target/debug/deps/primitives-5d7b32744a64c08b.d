@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/primitives-5d7b32744a64c08b.d: crates/tc-bench/benches/primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprimitives-5d7b32744a64c08b.rmeta: crates/tc-bench/benches/primitives.rs Cargo.toml
+
+crates/tc-bench/benches/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

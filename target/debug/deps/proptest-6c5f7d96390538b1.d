@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6c5f7d96390538b1.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6c5f7d96390538b1.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6c5f7d96390538b1.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-79843f4f6f4f72c5.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-79843f4f6f4f72c5.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-79843f4f6f4f72c5.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c320bbe30af4fff1.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-c320bbe30af4fff1: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-a909d22b443fc896.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-a909d22b443fc896: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

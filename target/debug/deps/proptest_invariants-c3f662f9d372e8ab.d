@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-c3f662f9d372e8ab.d: tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-c3f662f9d372e8ab.rmeta: tests/proptest_invariants.rs Cargo.toml
+
+tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-f93b9566f7085253.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-f93b9566f7085253: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

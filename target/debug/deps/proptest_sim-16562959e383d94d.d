@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sim-16562959e383d94d.d: crates/gpu-sim/tests/proptest_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sim-16562959e383d94d.rmeta: crates/gpu-sim/tests/proptest_sim.rs Cargo.toml
+
+crates/gpu-sim/tests/proptest_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-2380a921b39a4c0d.d: crates/gpu-sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-2380a921b39a4c0d: crates/gpu-sim/tests/proptest_sim.rs
+
+crates/gpu-sim/tests/proptest_sim.rs:

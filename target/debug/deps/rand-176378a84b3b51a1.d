@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-176378a84b3b51a1.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-176378a84b3b51a1.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-176378a84b3b51a1.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

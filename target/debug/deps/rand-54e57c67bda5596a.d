@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-54e57c67bda5596a.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-54e57c67bda5596a: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-93ca8aa9e16e1929.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-93ca8aa9e16e1929.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-93ca8aa9e16e1929.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

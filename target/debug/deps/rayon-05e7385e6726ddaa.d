@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-05e7385e6726ddaa.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-05e7385e6726ddaa.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-05e7385e6726ddaa.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

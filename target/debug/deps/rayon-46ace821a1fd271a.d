@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-46ace821a1fd271a.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-46ace821a1fd271a.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-46ace821a1fd271a.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-56d02695c03b9daa.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-56d02695c03b9daa: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-c6fb58e8f18de78e.d: crates/shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-c6fb58e8f18de78e.rmeta: crates/shims/rayon/src/lib.rs Cargo.toml
+
+crates/shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_behavior-3a5a6abede39bdfb.d: tests/simulator_behavior.rs
+
+/root/repo/target/debug/deps/simulator_behavior-3a5a6abede39bdfb: tests/simulator_behavior.rs
+
+tests/simulator_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_behavior-45d4bca7ed11912f.d: tests/simulator_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_behavior-45d4bca7ed11912f.rmeta: tests/simulator_behavior.rs Cargo.toml
+
+tests/simulator_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_behavior-eb7ff7073aa448e5.d: tests/simulator_behavior.rs
+
+/root/repo/target/debug/deps/simulator_behavior-eb7ff7073aa448e5: tests/simulator_behavior.rs
+
+tests/simulator_behavior.rs:

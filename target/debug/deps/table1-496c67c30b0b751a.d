@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-496c67c30b0b751a.d: crates/tc-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-496c67c30b0b751a: crates/tc-bench/src/bin/table1.rs
+
+crates/tc-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-58fdaee0ddcb1697.d: crates/tc-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-58fdaee0ddcb1697: crates/tc-bench/src/bin/table1.rs
+
+crates/tc-bench/src/bin/table1.rs:

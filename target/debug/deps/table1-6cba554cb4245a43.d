@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6cba554cb4245a43.d: crates/tc-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6cba554cb4245a43: crates/tc-bench/src/bin/table1.rs
+
+crates/tc-bench/src/bin/table1.rs:

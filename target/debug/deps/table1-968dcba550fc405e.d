@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-968dcba550fc405e.d: crates/tc-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-968dcba550fc405e.rmeta: crates/tc-bench/src/bin/table1.rs Cargo.toml
+
+crates/tc-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

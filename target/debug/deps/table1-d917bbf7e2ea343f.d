@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-d917bbf7e2ea343f.d: crates/tc-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-d917bbf7e2ea343f.rmeta: crates/tc-bench/src/bin/table1.rs Cargo.toml
+
+crates/tc-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-17174d4187f1e3cf.d: crates/tc-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-17174d4187f1e3cf: crates/tc-bench/src/bin/table2.rs
+
+crates/tc-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-24e220e47870d8ee.d: crates/tc-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-24e220e47870d8ee: crates/tc-bench/src/bin/table2.rs
+
+crates/tc-bench/src/bin/table2.rs:

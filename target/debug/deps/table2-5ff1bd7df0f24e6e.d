@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5ff1bd7df0f24e6e.d: crates/tc-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5ff1bd7df0f24e6e: crates/tc-bench/src/bin/table2.rs
+
+crates/tc-bench/src/bin/table2.rs:

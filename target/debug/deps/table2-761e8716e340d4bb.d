@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-761e8716e340d4bb.d: crates/tc-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-761e8716e340d4bb.rmeta: crates/tc-bench/src/bin/table2.rs Cargo.toml
+
+crates/tc-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

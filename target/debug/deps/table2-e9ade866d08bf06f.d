@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-e9ade866d08bf06f.d: crates/tc-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-e9ade866d08bf06f.rmeta: crates/tc-bench/src/bin/table2.rs Cargo.toml
+
+crates/tc-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tc_bench-71c9447488b14f2d.d: crates/tc-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtc_bench-71c9447488b14f2d.rmeta: crates/tc-bench/src/lib.rs Cargo.toml
+
+crates/tc-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

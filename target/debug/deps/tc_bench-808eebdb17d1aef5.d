@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tc_bench-808eebdb17d1aef5.d: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/tc_bench-808eebdb17d1aef5: crates/tc-bench/src/lib.rs
+
+crates/tc-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tc_bench-8da2e039260038de.d: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtc_bench-8da2e039260038de.rlib: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtc_bench-8da2e039260038de.rmeta: crates/tc-bench/src/lib.rs
+
+crates/tc-bench/src/lib.rs:

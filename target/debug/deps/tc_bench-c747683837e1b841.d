@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tc_bench-c747683837e1b841.d: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtc_bench-c747683837e1b841.rlib: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtc_bench-c747683837e1b841.rmeta: crates/tc-bench/src/lib.rs
+
+crates/tc-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tc_bench-d0ee1dabc8e5bc0b.d: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtc_bench-d0ee1dabc8e5bc0b.rlib: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtc_bench-d0ee1dabc8e5bc0b.rmeta: crates/tc-bench/src/lib.rs
+
+crates/tc-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tc_compare-000ace9712a71560.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtc_compare-000ace9712a71560.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtc_compare-000ace9712a71560.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tc_compare-061de5c3cbcc00b7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtc_compare-061de5c3cbcc00b7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

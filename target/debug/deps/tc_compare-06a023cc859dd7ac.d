@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tc_compare-06a023cc859dd7ac.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtc_compare-06a023cc859dd7ac.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtc_compare-06a023cc859dd7ac.rmeta: src/lib.rs
+
+src/lib.rs:

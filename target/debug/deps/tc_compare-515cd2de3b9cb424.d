@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tc_compare-515cd2de3b9cb424.d: src/lib.rs
+
+/root/repo/target/debug/deps/tc_compare-515cd2de3b9cb424: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tc_compare-6774a1b1a0e43d0e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtc_compare-6774a1b1a0e43d0e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtc_compare-6774a1b1a0e43d0e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tc_compare-86e7b55b9d2cc450.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtc_compare-86e7b55b9d2cc450.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

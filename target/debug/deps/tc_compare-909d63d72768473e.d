@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tc_compare-909d63d72768473e.d: src/lib.rs
+
+/root/repo/target/debug/deps/tc_compare-909d63d72768473e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tc_core-8c40a7da79e6955e.d: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+/root/repo/target/debug/deps/libtc_core-8c40a7da79e6955e.rlib: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+/root/repo/target/debug/deps/libtc_core-8c40a7da79e6955e.rmeta: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+crates/tc-core/src/lib.rs:
+crates/tc-core/src/framework/mod.rs:
+crates/tc-core/src/framework/claims.rs:
+crates/tc-core/src/framework/csv.rs:
+crates/tc-core/src/framework/registry.rs:
+crates/tc-core/src/framework/report.rs:
+crates/tc-core/src/framework/runner.rs:
+crates/tc-core/src/grouptc.rs:
+crates/tc-core/src/grouptc_hybrid.rs:

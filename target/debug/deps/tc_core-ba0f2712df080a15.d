@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tc_core-ba0f2712df080a15.d: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtc_core-ba0f2712df080a15.rmeta: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs Cargo.toml
+
+crates/tc-core/src/lib.rs:
+crates/tc-core/src/framework/mod.rs:
+crates/tc-core/src/framework/claims.rs:
+crates/tc-core/src/framework/csv.rs:
+crates/tc-core/src/framework/registry.rs:
+crates/tc-core/src/framework/report.rs:
+crates/tc-core/src/framework/runner.rs:
+crates/tc-core/src/grouptc.rs:
+crates/tc-core/src/grouptc_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/algorithm_comparison-1b76419f4ee97a0e.d: examples/algorithm_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalgorithm_comparison-1b76419f4ee97a0e.rmeta: examples/algorithm_comparison.rs Cargo.toml
+
+examples/algorithm_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_comparison-1d04a0067b09722d.d: examples/algorithm_comparison.rs
+
+/root/repo/target/debug/examples/algorithm_comparison-1d04a0067b09722d: examples/algorithm_comparison.rs
+
+examples/algorithm_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_comparison-b6ac9675f49cac63.d: examples/algorithm_comparison.rs
+
+/root/repo/target/debug/examples/algorithm_comparison-b6ac9675f49cac63: examples/algorithm_comparison.rs
+
+examples/algorithm_comparison.rs:

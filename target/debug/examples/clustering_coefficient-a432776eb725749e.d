@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_coefficient-a432776eb725749e.d: examples/clustering_coefficient.rs
+
+/root/repo/target/debug/examples/clustering_coefficient-a432776eb725749e: examples/clustering_coefficient.rs
+
+examples/clustering_coefficient.rs:

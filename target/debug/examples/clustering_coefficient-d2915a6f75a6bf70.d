@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clustering_coefficient-d2915a6f75a6bf70.d: examples/clustering_coefficient.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclustering_coefficient-d2915a6f75a6bf70.rmeta: examples/clustering_coefficient.rs Cargo.toml
+
+examples/clustering_coefficient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

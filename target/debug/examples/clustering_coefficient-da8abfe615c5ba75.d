@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustering_coefficient-da8abfe615c5ba75.d: examples/clustering_coefficient.rs
+
+/root/repo/target/debug/examples/clustering_coefficient-da8abfe615c5ba75: examples/clustering_coefficient.rs
+
+examples/clustering_coefficient.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/device_comparison-038a1658793019a7.d: examples/device_comparison.rs
+
+/root/repo/target/debug/examples/device_comparison-038a1658793019a7: examples/device_comparison.rs
+
+examples/device_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/device_comparison-4ec858d667b4824f.d: examples/device_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdevice_comparison-4ec858d667b4824f.rmeta: examples/device_comparison.rs Cargo.toml
+
+examples/device_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/device_comparison-e6b66481efc89165.d: examples/device_comparison.rs
+
+/root/repo/target/debug/examples/device_comparison-e6b66481efc89165: examples/device_comparison.rs
+
+examples/device_comparison.rs:

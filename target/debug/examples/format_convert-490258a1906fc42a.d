@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/format_convert-490258a1906fc42a.d: examples/format_convert.rs Cargo.toml
+
+/root/repo/target/debug/examples/libformat_convert-490258a1906fc42a.rmeta: examples/format_convert.rs Cargo.toml
+
+examples/format_convert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/format_convert-6a0bc594af2047e6.d: examples/format_convert.rs
+
+/root/repo/target/debug/examples/format_convert-6a0bc594af2047e6: examples/format_convert.rs
+
+examples/format_convert.rs:

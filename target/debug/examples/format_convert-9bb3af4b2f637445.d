@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/format_convert-9bb3af4b2f637445.d: examples/format_convert.rs
+
+/root/repo/target/debug/examples/format_convert-9bb3af4b2f637445: examples/format_convert.rs
+
+examples/format_convert.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ktruss-14a92b62028118b2.d: examples/ktruss.rs
+
+/root/repo/target/debug/examples/ktruss-14a92b62028118b2: examples/ktruss.rs
+
+examples/ktruss.rs:

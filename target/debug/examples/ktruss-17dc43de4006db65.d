@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ktruss-17dc43de4006db65.d: examples/ktruss.rs
+
+/root/repo/target/debug/examples/ktruss-17dc43de4006db65: examples/ktruss.rs
+
+examples/ktruss.rs:

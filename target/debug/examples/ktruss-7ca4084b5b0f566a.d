@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ktruss-7ca4084b5b0f566a.d: examples/ktruss.rs Cargo.toml
+
+/root/repo/target/debug/examples/libktruss-7ca4084b5b0f566a.rmeta: examples/ktruss.rs Cargo.toml
+
+examples/ktruss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

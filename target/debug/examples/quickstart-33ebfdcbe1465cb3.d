@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-33ebfdcbe1465cb3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-33ebfdcbe1465cb3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6f47334e3e6f0991.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6f47334e3e6f0991: examples/quickstart.rs
+
+examples/quickstart.rs:

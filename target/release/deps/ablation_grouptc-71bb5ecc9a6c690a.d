@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_grouptc-71bb5ecc9a6c690a.d: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+/root/repo/target/release/deps/ablation_grouptc-71bb5ecc9a6c690a: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+crates/tc-bench/src/bin/ablation_grouptc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-3b10c13cccb78480.d: crates/tc-bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-3b10c13cccb78480: crates/tc-bench/src/bin/all_figures.rs
+
+crates/tc-bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/background_approaches-4b077ce3cee9737e.d: crates/tc-bench/src/bin/background_approaches.rs
+
+/root/repo/target/release/deps/background_approaches-4b077ce3cee9737e: crates/tc-bench/src/bin/background_approaches.rs
+
+crates/tc-bench/src/bin/background_approaches.rs:

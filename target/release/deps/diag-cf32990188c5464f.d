@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-cf32990188c5464f.d: crates/tc-bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-cf32990188c5464f: crates/tc-bench/src/bin/diag.rs
+
+crates/tc-bench/src/bin/diag.rs:

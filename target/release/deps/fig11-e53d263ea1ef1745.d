@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-e53d263ea1ef1745.d: crates/tc-bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-e53d263ea1ef1745: crates/tc-bench/src/bin/fig11.rs
+
+crates/tc-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-2196c9c351dc4ece.d: crates/tc-bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-2196c9c351dc4ece: crates/tc-bench/src/bin/fig12.rs
+
+crates/tc-bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13a-173d8cdd2ddc5760.d: crates/tc-bench/src/bin/fig13a.rs
+
+/root/repo/target/release/deps/fig13a-173d8cdd2ddc5760: crates/tc-bench/src/bin/fig13a.rs
+
+crates/tc-bench/src/bin/fig13a.rs:

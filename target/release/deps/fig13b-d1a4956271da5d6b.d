@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13b-d1a4956271da5d6b.d: crates/tc-bench/src/bin/fig13b.rs
+
+/root/repo/target/release/deps/fig13b-d1a4956271da5d6b: crates/tc-bench/src/bin/fig13b.rs
+
+crates/tc-bench/src/bin/fig13b.rs:

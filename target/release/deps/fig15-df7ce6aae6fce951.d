@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-df7ce6aae6fce951.d: crates/tc-bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-df7ce6aae6fce951: crates/tc-bench/src/bin/fig15.rs
+
+crates/tc-bench/src/bin/fig15.rs:

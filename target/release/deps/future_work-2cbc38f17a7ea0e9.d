@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_work-2cbc38f17a7ea0e9.d: crates/tc-bench/src/bin/future_work.rs
+
+/root/repo/target/release/deps/future_work-2cbc38f17a7ea0e9: crates/tc-bench/src/bin/future_work.rs
+
+crates/tc-bench/src/bin/future_work.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gpu_sim-a482008141c84389.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/schedule.rs crates/gpu-sim/src/trace.rs
+
+/root/repo/target/release/deps/libgpu_sim-a482008141c84389.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/schedule.rs crates/gpu-sim/src/trace.rs
+
+/root/repo/target/release/deps/libgpu_sim-a482008141c84389.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/schedule.rs crates/gpu-sim/src/trace.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/error.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/mem.rs:
+crates/gpu-sim/src/schedule.rs:
+crates/gpu-sim/src/trace.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/graph_data-288fc4fe0aeb73a9.d: crates/graph-data/src/lib.rs crates/graph-data/src/clean.rs crates/graph-data/src/cpu_ref/mod.rs crates/graph-data/src/cpu_ref/baselines.rs crates/graph-data/src/cpu_ref/intersect.rs crates/graph-data/src/cpu_ref/itc.rs crates/graph-data/src/datasets.rs crates/graph-data/src/gen/mod.rs crates/graph-data/src/gen/ba.rs crates/graph-data/src/gen/er.rs crates/graph-data/src/gen/grid.rs crates/graph-data/src/gen/rmat.rs crates/graph-data/src/gen/ws.rs crates/graph-data/src/io/mod.rs crates/graph-data/src/io/binary.rs crates/graph-data/src/io/csr_file.rs crates/graph-data/src/io/matrix_market.rs crates/graph-data/src/io/snap.rs crates/graph-data/src/kcore.rs crates/graph-data/src/orient.rs crates/graph-data/src/stats.rs crates/graph-data/src/types.rs
+
+/root/repo/target/release/deps/libgraph_data-288fc4fe0aeb73a9.rlib: crates/graph-data/src/lib.rs crates/graph-data/src/clean.rs crates/graph-data/src/cpu_ref/mod.rs crates/graph-data/src/cpu_ref/baselines.rs crates/graph-data/src/cpu_ref/intersect.rs crates/graph-data/src/cpu_ref/itc.rs crates/graph-data/src/datasets.rs crates/graph-data/src/gen/mod.rs crates/graph-data/src/gen/ba.rs crates/graph-data/src/gen/er.rs crates/graph-data/src/gen/grid.rs crates/graph-data/src/gen/rmat.rs crates/graph-data/src/gen/ws.rs crates/graph-data/src/io/mod.rs crates/graph-data/src/io/binary.rs crates/graph-data/src/io/csr_file.rs crates/graph-data/src/io/matrix_market.rs crates/graph-data/src/io/snap.rs crates/graph-data/src/kcore.rs crates/graph-data/src/orient.rs crates/graph-data/src/stats.rs crates/graph-data/src/types.rs
+
+/root/repo/target/release/deps/libgraph_data-288fc4fe0aeb73a9.rmeta: crates/graph-data/src/lib.rs crates/graph-data/src/clean.rs crates/graph-data/src/cpu_ref/mod.rs crates/graph-data/src/cpu_ref/baselines.rs crates/graph-data/src/cpu_ref/intersect.rs crates/graph-data/src/cpu_ref/itc.rs crates/graph-data/src/datasets.rs crates/graph-data/src/gen/mod.rs crates/graph-data/src/gen/ba.rs crates/graph-data/src/gen/er.rs crates/graph-data/src/gen/grid.rs crates/graph-data/src/gen/rmat.rs crates/graph-data/src/gen/ws.rs crates/graph-data/src/io/mod.rs crates/graph-data/src/io/binary.rs crates/graph-data/src/io/csr_file.rs crates/graph-data/src/io/matrix_market.rs crates/graph-data/src/io/snap.rs crates/graph-data/src/kcore.rs crates/graph-data/src/orient.rs crates/graph-data/src/stats.rs crates/graph-data/src/types.rs
+
+crates/graph-data/src/lib.rs:
+crates/graph-data/src/clean.rs:
+crates/graph-data/src/cpu_ref/mod.rs:
+crates/graph-data/src/cpu_ref/baselines.rs:
+crates/graph-data/src/cpu_ref/intersect.rs:
+crates/graph-data/src/cpu_ref/itc.rs:
+crates/graph-data/src/datasets.rs:
+crates/graph-data/src/gen/mod.rs:
+crates/graph-data/src/gen/ba.rs:
+crates/graph-data/src/gen/er.rs:
+crates/graph-data/src/gen/grid.rs:
+crates/graph-data/src/gen/rmat.rs:
+crates/graph-data/src/gen/ws.rs:
+crates/graph-data/src/io/mod.rs:
+crates/graph-data/src/io/binary.rs:
+crates/graph-data/src/io/csr_file.rs:
+crates/graph-data/src/io/matrix_market.rs:
+crates/graph-data/src/io/snap.rs:
+crates/graph-data/src/kcore.rs:
+crates/graph-data/src/orient.rs:
+crates/graph-data/src/stats.rs:
+crates/graph-data/src/types.rs:

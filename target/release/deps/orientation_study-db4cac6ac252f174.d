@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/orientation_study-db4cac6ac252f174.d: crates/tc-bench/src/bin/orientation_study.rs
+
+/root/repo/target/release/deps/orientation_study-db4cac6ac252f174: crates/tc-bench/src/bin/orientation_study.rs
+
+crates/tc-bench/src/bin/orientation_study.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e876ba1f4bdc515c.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e876ba1f4bdc515c.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e876ba1f4bdc515c.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

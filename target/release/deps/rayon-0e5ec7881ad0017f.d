@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-0e5ec7881ad0017f.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-0e5ec7881ad0017f.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-0e5ec7881ad0017f.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3f11a7160f5f48d7.d: crates/tc-bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3f11a7160f5f48d7: crates/tc-bench/src/bin/table1.rs
+
+crates/tc-bench/src/bin/table1.rs:

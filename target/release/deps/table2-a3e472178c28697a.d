@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-a3e472178c28697a.d: crates/tc-bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-a3e472178c28697a: crates/tc-bench/src/bin/table2.rs
+
+crates/tc-bench/src/bin/table2.rs:

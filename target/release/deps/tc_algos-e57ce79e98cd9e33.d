@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/tc_algos-e57ce79e98cd9e33.d: crates/tc-algos/src/lib.rs crates/tc-algos/src/api.rs crates/tc-algos/src/bisson.rs crates/tc-algos/src/device_graph.rs crates/tc-algos/src/fox.rs crates/tc-algos/src/green.rs crates/tc-algos/src/hindex.rs crates/tc-algos/src/hu.rs crates/tc-algos/src/polak.rs crates/tc-algos/src/registry.rs crates/tc-algos/src/tricore.rs crates/tc-algos/src/trust.rs crates/tc-algos/src/util.rs crates/tc-algos/src/testutil.rs
+
+/root/repo/target/release/deps/libtc_algos-e57ce79e98cd9e33.rlib: crates/tc-algos/src/lib.rs crates/tc-algos/src/api.rs crates/tc-algos/src/bisson.rs crates/tc-algos/src/device_graph.rs crates/tc-algos/src/fox.rs crates/tc-algos/src/green.rs crates/tc-algos/src/hindex.rs crates/tc-algos/src/hu.rs crates/tc-algos/src/polak.rs crates/tc-algos/src/registry.rs crates/tc-algos/src/tricore.rs crates/tc-algos/src/trust.rs crates/tc-algos/src/util.rs crates/tc-algos/src/testutil.rs
+
+/root/repo/target/release/deps/libtc_algos-e57ce79e98cd9e33.rmeta: crates/tc-algos/src/lib.rs crates/tc-algos/src/api.rs crates/tc-algos/src/bisson.rs crates/tc-algos/src/device_graph.rs crates/tc-algos/src/fox.rs crates/tc-algos/src/green.rs crates/tc-algos/src/hindex.rs crates/tc-algos/src/hu.rs crates/tc-algos/src/polak.rs crates/tc-algos/src/registry.rs crates/tc-algos/src/tricore.rs crates/tc-algos/src/trust.rs crates/tc-algos/src/util.rs crates/tc-algos/src/testutil.rs
+
+crates/tc-algos/src/lib.rs:
+crates/tc-algos/src/api.rs:
+crates/tc-algos/src/bisson.rs:
+crates/tc-algos/src/device_graph.rs:
+crates/tc-algos/src/fox.rs:
+crates/tc-algos/src/green.rs:
+crates/tc-algos/src/hindex.rs:
+crates/tc-algos/src/hu.rs:
+crates/tc-algos/src/polak.rs:
+crates/tc-algos/src/registry.rs:
+crates/tc-algos/src/tricore.rs:
+crates/tc-algos/src/trust.rs:
+crates/tc-algos/src/util.rs:
+crates/tc-algos/src/testutil.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tc_bench-e9a968a8ccbcdda7.d: crates/tc-bench/src/lib.rs
+
+/root/repo/target/release/deps/libtc_bench-e9a968a8ccbcdda7.rlib: crates/tc-bench/src/lib.rs
+
+/root/repo/target/release/deps/libtc_bench-e9a968a8ccbcdda7.rmeta: crates/tc-bench/src/lib.rs
+
+crates/tc-bench/src/lib.rs:

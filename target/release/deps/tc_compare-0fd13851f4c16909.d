@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tc_compare-0fd13851f4c16909.d: src/lib.rs
+
+/root/repo/target/release/deps/libtc_compare-0fd13851f4c16909.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtc_compare-0fd13851f4c16909.rmeta: src/lib.rs
+
+src/lib.rs:

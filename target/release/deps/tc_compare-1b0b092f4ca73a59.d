@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tc_compare-1b0b092f4ca73a59.d: src/lib.rs
+
+/root/repo/target/release/deps/libtc_compare-1b0b092f4ca73a59.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtc_compare-1b0b092f4ca73a59.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tc_core-d09eeadeb74d3495.d: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+/root/repo/target/release/deps/libtc_core-d09eeadeb74d3495.rlib: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+/root/repo/target/release/deps/libtc_core-d09eeadeb74d3495.rmeta: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+crates/tc-core/src/lib.rs:
+crates/tc-core/src/framework/mod.rs:
+crates/tc-core/src/framework/claims.rs:
+crates/tc-core/src/framework/csv.rs:
+crates/tc-core/src/framework/registry.rs:
+crates/tc-core/src/framework/report.rs:
+crates/tc-core/src/framework/runner.rs:
+crates/tc-core/src/grouptc.rs:
+crates/tc-core/src/grouptc_hybrid.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tc_core-d0a16b4bd5a3742f.d: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+/root/repo/target/release/deps/libtc_core-d0a16b4bd5a3742f.rlib: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+/root/repo/target/release/deps/libtc_core-d0a16b4bd5a3742f.rmeta: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+crates/tc-core/src/lib.rs:
+crates/tc-core/src/framework/mod.rs:
+crates/tc-core/src/framework/claims.rs:
+crates/tc-core/src/framework/csv.rs:
+crates/tc-core/src/framework/registry.rs:
+crates/tc-core/src/framework/report.rs:
+crates/tc-core/src/framework/runner.rs:
+crates/tc-core/src/grouptc.rs:
+crates/tc-core/src/grouptc_hybrid.rs:

@@ -18,7 +18,10 @@ fn specs() -> Vec<DatasetSpec> {
             paper_edges: 0,
             paper_avg_degree: 0.0,
             size_class: SizeClass::Small,
-            gen: GenSpec::Rmat { scale: 11, raw_edges: 12_000 },
+            gen: GenSpec::Rmat {
+                scale: 11,
+                raw_edges: 12_000,
+            },
             seed: 41,
         },
         DatasetSpec {
@@ -27,7 +30,12 @@ fn specs() -> Vec<DatasetSpec> {
             paper_edges: 0,
             paper_avg_degree: 0.0,
             size_class: SizeClass::Small,
-            gen: GenSpec::Grid { rows: 40, cols: 40, keep: 0.8, diag: 0.1 },
+            gen: GenSpec::Grid {
+                rows: 40,
+                cols: 40,
+                keep: 0.8,
+                diag: 0.1,
+            },
             seed: 42,
         },
     ]
@@ -84,8 +92,9 @@ fn sweep_report_csv_and_claims_end_to_end() {
 
 #[test]
 fn registry_lookup_is_total_over_figure_names() {
-    for name in ["Green", "Polak", "Bisson", "TriCore", "Fox", "Hu", "H-INDEX", "TRUST", "GroupTC"]
-    {
+    for name in [
+        "Green", "Polak", "Bisson", "TriCore", "Fox", "Hu", "H-INDEX", "TRUST", "GroupTC",
+    ] {
         assert!(algorithm_by_name(name).is_some(), "{name} missing");
     }
 }
@@ -94,11 +103,11 @@ fn registry_lookup_is_total_over_figure_names() {
 fn prepared_dataset_reuses_orientations_across_algorithms() {
     let dev = Device::v100();
     let spec = specs().remove(0);
-    let mut data = PreparedDataset::prepare(&spec);
+    let data = PreparedDataset::prepare(&spec);
     let t0 = data.ground_truth;
     // Running twice must not change ground truth or graph.
     for algo in all_algorithms() {
-        let _ = tc_compare::core::run_on_dataset(&dev, algo.as_ref(), &mut data);
+        let _ = tc_compare::core::run_on_dataset(&dev, algo.as_ref(), &data);
     }
     assert_eq!(data.ground_truth, t0);
 }

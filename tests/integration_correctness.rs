@@ -23,10 +23,41 @@ fn spec(name: &'static str, gen: GenSpec, seed: u64) -> DatasetSpec {
 /// Reduced-size cousins of each Table II generator family.
 fn fixture_specs() -> Vec<DatasetSpec> {
     vec![
-        spec("it-rmat", GenSpec::Rmat { scale: 12, raw_edges: 30_000 }, 1),
-        spec("it-er", GenSpec::Er { n: 4_000, raw_edges: 16_000 }, 2),
-        spec("it-ba", GenSpec::Ba { n: 3_000, m: 5, p_triad: 0.6 }, 3),
-        spec("it-grid", GenSpec::Grid { rows: 60, cols: 60, keep: 0.8, diag: 0.05 }, 4),
+        spec(
+            "it-rmat",
+            GenSpec::Rmat {
+                scale: 12,
+                raw_edges: 30_000,
+            },
+            1,
+        ),
+        spec(
+            "it-er",
+            GenSpec::Er {
+                n: 4_000,
+                raw_edges: 16_000,
+            },
+            2,
+        ),
+        spec(
+            "it-ba",
+            GenSpec::Ba {
+                n: 3_000,
+                m: 5,
+                p_triad: 0.6,
+            },
+            3,
+        ),
+        spec(
+            "it-grid",
+            GenSpec::Grid {
+                rows: 60,
+                cols: 60,
+                keep: 0.8,
+                diag: 0.05,
+            },
+            4,
+        ),
     ]
 }
 
@@ -35,12 +66,16 @@ fn all_algorithms_exact_on_all_generator_families() {
     let dev = Device::v100();
     let algos = all_algorithms();
     for s in fixture_specs() {
-        let mut data = PreparedDataset::prepare(&s);
+        let data = PreparedDataset::prepare(&s);
         assert!(data.stats.edges > 1000, "{}: fixture too small", s.name);
         for algo in &algos {
-            let rec = run_on_dataset(&dev, algo.as_ref(), &mut data);
+            let rec = run_on_dataset(&dev, algo.as_ref(), &data);
             match rec.outcome {
-                RunOutcome::Ok { triangles, verified, .. } => assert!(
+                RunOutcome::Ok {
+                    triangles,
+                    verified,
+                    ..
+                } => assert!(
                     verified,
                     "{} on {}: counted {triangles}, expected {}",
                     rec.algorithm, s.name, data.ground_truth
@@ -57,10 +92,10 @@ fn all_algorithms_exact_on_all_generator_families() {
 fn smallest_table2_dataset_verifies_for_everyone() {
     let dev = Device::v100();
     let spec = DatasetSpec::by_name("As-Caida").unwrap();
-    let mut data = PreparedDataset::prepare(spec);
+    let data = PreparedDataset::prepare(spec);
     assert!(data.ground_truth > 0);
     for algo in all_algorithms() {
-        let rec = run_on_dataset(&dev, algo.as_ref(), &mut data);
+        let rec = run_on_dataset(&dev, algo.as_ref(), &data);
         assert!(rec.is_verified(), "{} not verified", rec.algorithm);
     }
 }
@@ -68,11 +103,20 @@ fn smallest_table2_dataset_verifies_for_everyone() {
 #[test]
 fn profiling_counters_are_sane_for_every_algorithm() {
     let dev = Device::v100();
-    let s = spec("sanity", GenSpec::Rmat { scale: 11, raw_edges: 15_000 }, 9);
-    let mut data = PreparedDataset::prepare(&s);
+    let s = spec(
+        "sanity",
+        GenSpec::Rmat {
+            scale: 11,
+            raw_edges: 15_000,
+        },
+        9,
+    );
+    let data = PreparedDataset::prepare(&s);
     for algo in all_algorithms() {
-        let rec = run_on_dataset(&dev, algo.as_ref(), &mut data);
-        let c = rec.counters().unwrap_or_else(|| panic!("{} failed", rec.algorithm));
+        let rec = run_on_dataset(&dev, algo.as_ref(), &data);
+        let c = rec
+            .counters()
+            .unwrap_or_else(|| panic!("{} failed", rec.algorithm));
         let eff = c.warp_execution_efficiency();
         assert!(
             (0.0..=1.0).contains(&eff),
@@ -97,16 +141,32 @@ fn profiling_counters_are_sane_for_every_algorithm() {
 #[test]
 fn runs_are_deterministic() {
     let dev = Device::v100();
-    let s = spec("det", GenSpec::Ba { n: 1_000, m: 4, p_triad: 0.5 }, 11);
+    let s = spec(
+        "det",
+        GenSpec::Ba {
+            n: 1_000,
+            m: 4,
+            p_triad: 0.5,
+        },
+        11,
+    );
     for algo in all_algorithms() {
-        let mut d1 = PreparedDataset::prepare(&s);
-        let mut d2 = PreparedDataset::prepare(&s);
-        let r1 = run_on_dataset(&dev, algo.as_ref(), &mut d1);
-        let r2 = run_on_dataset(&dev, algo.as_ref(), &mut d2);
+        let d1 = PreparedDataset::prepare(&s);
+        let d2 = PreparedDataset::prepare(&s);
+        let r1 = run_on_dataset(&dev, algo.as_ref(), &d1);
+        let r2 = run_on_dataset(&dev, algo.as_ref(), &d2);
         match (&r1.outcome, &r2.outcome) {
             (
-                RunOutcome::Ok { kernel_cycles: k1, counters: c1, .. },
-                RunOutcome::Ok { kernel_cycles: k2, counters: c2, .. },
+                RunOutcome::Ok {
+                    kernel_cycles: k1,
+                    counters: c1,
+                    ..
+                },
+                RunOutcome::Ok {
+                    kernel_cycles: k2,
+                    counters: c2,
+                    ..
+                },
             ) => {
                 assert_eq!(k1, k2, "{}: cycles not deterministic", r1.algorithm);
                 assert_eq!(c1, c2, "{}: counters not deterministic", r1.algorithm);
@@ -122,7 +182,14 @@ fn graph_upload_fails_cleanly_on_tiny_device() {
     use tc_compare::graph::{orient, Orientation};
     use tc_compare::sim::{DeviceMem, SimError};
 
-    let s = spec("oom", GenSpec::Rmat { scale: 11, raw_edges: 20_000 }, 13);
+    let s = spec(
+        "oom",
+        GenSpec::Rmat {
+            scale: 11,
+            raw_edges: 20_000,
+        },
+        13,
+    );
     let g = s.build();
     let dag = orient(&g, Orientation::DegreeAsc);
     let dev = Device::with_memory_words(100);

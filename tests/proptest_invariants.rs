@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use tc_compare::algos::published_algorithms;
 use tc_compare::algos::testutil::run_on_dag;
 use tc_compare::core::GroupTc;
-use tc_compare::graph::{
-    clean_edges, cpu_ref, io, orient, EdgeList, Orientation,
-};
+use tc_compare::graph::{clean_edges, cpu_ref, io, orient, EdgeList, Orientation};
 
 /// Random raw edge list: up to 400 edges over up to 60 vertices, with
 /// self-loops and duplicates allowed (cleaning must cope).

@@ -83,8 +83,14 @@ fn sequential_scan_hits_the_l1_model() {
         })
         .unwrap();
     assert_eq!(scan.counters.global_load_requests, 1024);
-    assert_eq!(scan.counters.gld_transactions, 1024, "one wavefront per request");
-    assert_eq!(scan.counters.dram_load_sectors, 128, "7 of 8 words hit the L1 model");
+    assert_eq!(
+        scan.counters.gld_transactions, 1024,
+        "one wavefront per request"
+    );
+    assert_eq!(
+        scan.counters.dram_load_sectors, 128,
+        "7 of 8 words hit the L1 model"
+    );
 }
 
 #[test]
@@ -160,9 +166,9 @@ fn shared_memory_values_cross_phases() {
     })
     .unwrap();
     let vals = mem.read_back(out);
-    for t in 0..64usize {
+    for (t, v) in vals.iter().enumerate().take(64) {
         let peer = ((t + 13) % 64) as u32;
-        assert_eq!(vals[t], peer * peer);
+        assert_eq!(*v, peer * peer);
     }
 }
 
