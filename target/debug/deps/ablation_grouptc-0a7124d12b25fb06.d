@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grouptc-0a7124d12b25fb06.d: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+/root/repo/target/debug/deps/libablation_grouptc-0a7124d12b25fb06.rmeta: crates/tc-bench/src/bin/ablation_grouptc.rs
+
+crates/tc-bench/src/bin/ablation_grouptc.rs:

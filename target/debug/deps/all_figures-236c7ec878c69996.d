@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-236c7ec878c69996.d: crates/tc-bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/liball_figures-236c7ec878c69996.rmeta: crates/tc-bench/src/bin/all_figures.rs
+
+crates/tc-bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background_approaches-0cfaff88984b8eb0.d: crates/tc-bench/src/bin/background_approaches.rs
+
+/root/repo/target/debug/deps/libbackground_approaches-0cfaff88984b8eb0.rmeta: crates/tc-bench/src/bin/background_approaches.rs
+
+crates/tc-bench/src/bin/background_approaches.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-842527a7df0abf08.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-842527a7df0abf08.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-e183ea2a304c7960.d: crates/tc-bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/libdiag-e183ea2a304c7960.rmeta: crates/tc-bench/src/bin/diag.rs
+
+crates/tc-bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-faab7b8a3c69ae5c.d: crates/tc-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-faab7b8a3c69ae5c.rmeta: crates/tc-bench/src/bin/fig11.rs
+
+crates/tc-bench/src/bin/fig11.rs:

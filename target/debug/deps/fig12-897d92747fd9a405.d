@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-897d92747fd9a405.d: crates/tc-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-897d92747fd9a405.rmeta: crates/tc-bench/src/bin/fig12.rs
+
+crates/tc-bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a-6c33ef47601395bd.d: crates/tc-bench/src/bin/fig13a.rs
+
+/root/repo/target/debug/deps/libfig13a-6c33ef47601395bd.rmeta: crates/tc-bench/src/bin/fig13a.rs
+
+crates/tc-bench/src/bin/fig13a.rs:

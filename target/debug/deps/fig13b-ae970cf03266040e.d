@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b-ae970cf03266040e.d: crates/tc-bench/src/bin/fig13b.rs
+
+/root/repo/target/debug/deps/libfig13b-ae970cf03266040e.rmeta: crates/tc-bench/src/bin/fig13b.rs
+
+crates/tc-bench/src/bin/fig13b.rs:

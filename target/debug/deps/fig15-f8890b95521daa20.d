@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-f8890b95521daa20.d: crates/tc-bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/libfig15-f8890b95521daa20.rmeta: crates/tc-bench/src/bin/fig15.rs
+
+crates/tc-bench/src/bin/fig15.rs:

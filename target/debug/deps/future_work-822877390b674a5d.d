@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_work-822877390b674a5d.d: crates/tc-bench/src/bin/future_work.rs
+
+/root/repo/target/debug/deps/libfuture_work-822877390b674a5d.rmeta: crates/tc-bench/src/bin/future_work.rs
+
+crates/tc-bench/src/bin/future_work.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpu_sim-97a482f6c5a88197.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/schedule.rs crates/gpu-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libgpu_sim-97a482f6c5a88197.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/exec.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/schedule.rs crates/gpu-sim/src/trace.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/error.rs:
+crates/gpu-sim/src/exec.rs:
+crates/gpu-sim/src/mem.rs:
+crates/gpu-sim/src/schedule.rs:
+crates/gpu-sim/src/trace.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/graph_data-f4a7dece459d92c9.d: crates/graph-data/src/lib.rs crates/graph-data/src/clean.rs crates/graph-data/src/cpu_ref/mod.rs crates/graph-data/src/cpu_ref/baselines.rs crates/graph-data/src/cpu_ref/intersect.rs crates/graph-data/src/cpu_ref/itc.rs crates/graph-data/src/datasets.rs crates/graph-data/src/gen/mod.rs crates/graph-data/src/gen/ba.rs crates/graph-data/src/gen/er.rs crates/graph-data/src/gen/grid.rs crates/graph-data/src/gen/rmat.rs crates/graph-data/src/gen/ws.rs crates/graph-data/src/io/mod.rs crates/graph-data/src/io/binary.rs crates/graph-data/src/io/csr_file.rs crates/graph-data/src/io/matrix_market.rs crates/graph-data/src/io/snap.rs crates/graph-data/src/kcore.rs crates/graph-data/src/orient.rs crates/graph-data/src/stats.rs crates/graph-data/src/types.rs
+
+/root/repo/target/debug/deps/libgraph_data-f4a7dece459d92c9.rmeta: crates/graph-data/src/lib.rs crates/graph-data/src/clean.rs crates/graph-data/src/cpu_ref/mod.rs crates/graph-data/src/cpu_ref/baselines.rs crates/graph-data/src/cpu_ref/intersect.rs crates/graph-data/src/cpu_ref/itc.rs crates/graph-data/src/datasets.rs crates/graph-data/src/gen/mod.rs crates/graph-data/src/gen/ba.rs crates/graph-data/src/gen/er.rs crates/graph-data/src/gen/grid.rs crates/graph-data/src/gen/rmat.rs crates/graph-data/src/gen/ws.rs crates/graph-data/src/io/mod.rs crates/graph-data/src/io/binary.rs crates/graph-data/src/io/csr_file.rs crates/graph-data/src/io/matrix_market.rs crates/graph-data/src/io/snap.rs crates/graph-data/src/kcore.rs crates/graph-data/src/orient.rs crates/graph-data/src/stats.rs crates/graph-data/src/types.rs
+
+crates/graph-data/src/lib.rs:
+crates/graph-data/src/clean.rs:
+crates/graph-data/src/cpu_ref/mod.rs:
+crates/graph-data/src/cpu_ref/baselines.rs:
+crates/graph-data/src/cpu_ref/intersect.rs:
+crates/graph-data/src/cpu_ref/itc.rs:
+crates/graph-data/src/datasets.rs:
+crates/graph-data/src/gen/mod.rs:
+crates/graph-data/src/gen/ba.rs:
+crates/graph-data/src/gen/er.rs:
+crates/graph-data/src/gen/grid.rs:
+crates/graph-data/src/gen/rmat.rs:
+crates/graph-data/src/gen/ws.rs:
+crates/graph-data/src/io/mod.rs:
+crates/graph-data/src/io/binary.rs:
+crates/graph-data/src/io/csr_file.rs:
+crates/graph-data/src/io/matrix_market.rs:
+crates/graph-data/src/io/snap.rs:
+crates/graph-data/src/kcore.rs:
+crates/graph-data/src/orient.rs:
+crates/graph-data/src/stats.rs:
+crates/graph-data/src/types.rs:

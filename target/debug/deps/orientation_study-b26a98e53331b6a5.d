@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/orientation_study-b26a98e53331b6a5.d: crates/tc-bench/src/bin/orientation_study.rs
+
+/root/repo/target/debug/deps/liborientation_study-b26a98e53331b6a5.rmeta: crates/tc-bench/src/bin/orientation_study.rs
+
+crates/tc-bench/src/bin/orientation_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-24f049535aaa9a4c.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-24f049535aaa9a4c.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

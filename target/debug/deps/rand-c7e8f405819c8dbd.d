@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c7e8f405819c8dbd.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c7e8f405819c8dbd.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-308f92d5368cb27b.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-308f92d5368cb27b.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c476d4f0c9eb8603.d: crates/tc-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-c476d4f0c9eb8603.rmeta: crates/tc-bench/src/bin/table1.rs
+
+crates/tc-bench/src/bin/table1.rs:

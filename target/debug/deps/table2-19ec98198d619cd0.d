@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-19ec98198d619cd0.d: crates/tc-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-19ec98198d619cd0.rmeta: crates/tc-bench/src/bin/table2.rs
+
+crates/tc-bench/src/bin/table2.rs:

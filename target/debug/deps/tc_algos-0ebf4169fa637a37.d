@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tc_algos-0ebf4169fa637a37.d: crates/tc-algos/src/lib.rs crates/tc-algos/src/api.rs crates/tc-algos/src/bisson.rs crates/tc-algos/src/device_graph.rs crates/tc-algos/src/fox.rs crates/tc-algos/src/green.rs crates/tc-algos/src/hindex.rs crates/tc-algos/src/hu.rs crates/tc-algos/src/polak.rs crates/tc-algos/src/registry.rs crates/tc-algos/src/tricore.rs crates/tc-algos/src/trust.rs crates/tc-algos/src/util.rs crates/tc-algos/src/testutil.rs
+
+/root/repo/target/debug/deps/libtc_algos-0ebf4169fa637a37.rmeta: crates/tc-algos/src/lib.rs crates/tc-algos/src/api.rs crates/tc-algos/src/bisson.rs crates/tc-algos/src/device_graph.rs crates/tc-algos/src/fox.rs crates/tc-algos/src/green.rs crates/tc-algos/src/hindex.rs crates/tc-algos/src/hu.rs crates/tc-algos/src/polak.rs crates/tc-algos/src/registry.rs crates/tc-algos/src/tricore.rs crates/tc-algos/src/trust.rs crates/tc-algos/src/util.rs crates/tc-algos/src/testutil.rs
+
+crates/tc-algos/src/lib.rs:
+crates/tc-algos/src/api.rs:
+crates/tc-algos/src/bisson.rs:
+crates/tc-algos/src/device_graph.rs:
+crates/tc-algos/src/fox.rs:
+crates/tc-algos/src/green.rs:
+crates/tc-algos/src/hindex.rs:
+crates/tc-algos/src/hu.rs:
+crates/tc-algos/src/polak.rs:
+crates/tc-algos/src/registry.rs:
+crates/tc-algos/src/tricore.rs:
+crates/tc-algos/src/trust.rs:
+crates/tc-algos/src/util.rs:
+crates/tc-algos/src/testutil.rs:

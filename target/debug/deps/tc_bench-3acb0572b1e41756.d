@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tc_bench-3acb0572b1e41756.d: crates/tc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtc_bench-3acb0572b1e41756.rmeta: crates/tc-bench/src/lib.rs
+
+crates/tc-bench/src/lib.rs:

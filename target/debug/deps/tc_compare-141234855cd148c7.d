@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tc_compare-141234855cd148c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtc_compare-141234855cd148c7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tc_core-822cfec60ea0a338.d: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+/root/repo/target/debug/deps/libtc_core-822cfec60ea0a338.rmeta: crates/tc-core/src/lib.rs crates/tc-core/src/framework/mod.rs crates/tc-core/src/framework/claims.rs crates/tc-core/src/framework/csv.rs crates/tc-core/src/framework/registry.rs crates/tc-core/src/framework/report.rs crates/tc-core/src/framework/runner.rs crates/tc-core/src/grouptc.rs crates/tc-core/src/grouptc_hybrid.rs
+
+crates/tc-core/src/lib.rs:
+crates/tc-core/src/framework/mod.rs:
+crates/tc-core/src/framework/claims.rs:
+crates/tc-core/src/framework/csv.rs:
+crates/tc-core/src/framework/registry.rs:
+crates/tc-core/src/framework/report.rs:
+crates/tc-core/src/framework/runner.rs:
+crates/tc-core/src/grouptc.rs:
+crates/tc-core/src/grouptc_hybrid.rs:
