@@ -33,6 +33,14 @@ pub struct ProfileCounters {
     pub issued_slots: u64,
     /// Sum over issued slots of the number of active lanes.
     pub active_thread_slots: u64,
+    /// Conflict checks performed by the data-race detector (zero unless
+    /// the launch enabled race detection); a nonzero value on a clean
+    /// run is the evidence the kernel actually ran under the detector.
+    pub race_checks: u64,
+    /// Races the detector found. Normally reported through
+    /// [`crate::SimError::DataRace`] instead (the first race fails the
+    /// launch), so this stays zero on successful launches.
+    pub races_detected: u64,
 }
 
 impl ProfileCounters {
@@ -84,6 +92,8 @@ impl AddAssign for ProfileCounters {
         self.compute_slots += rhs.compute_slots;
         self.issued_slots += rhs.issued_slots;
         self.active_thread_slots += rhs.active_thread_slots;
+        self.race_checks += rhs.race_checks;
+        self.races_detected += rhs.races_detected;
     }
 }
 
@@ -156,10 +166,14 @@ mod tests {
             compute_slots: 9,
             issued_slots: 10,
             active_thread_slots: 11,
+            race_checks: 12,
+            races_detected: 13,
         };
         a += a;
         assert_eq!(a.global_load_requests, 2);
         assert_eq!(a.active_thread_slots, 22);
+        assert_eq!(a.race_checks, 24);
+        assert_eq!(a.races_detected, 26);
         assert_eq!(a.total_global_requests(), 2 + 6 + 10);
     }
 

@@ -21,6 +21,11 @@ pub struct DeviceConfig {
     pub l1_sectors_per_sm: u32,
     /// Global memory capacity, in 4-byte words.
     pub global_mem_words: u64,
+    /// Force the data-race detector on for *every* launch on this device,
+    /// regardless of each launch's [`KernelConfig::race_detect`] flag.
+    /// Test harnesses use this to run algorithms that build their own
+    /// launch configurations internally under the detector.
+    pub force_race_detection: bool,
     pub cost: CostModel,
 }
 
@@ -39,6 +44,7 @@ impl DeviceConfig {
             shared_mem_words: 48 * 1024 / 4,
             l1_sectors_per_sm: 128 * 1024 / 32,
             global_mem_words: 16 * 1024 * 1024, // 64 MiB => 16 GB / 256
+            force_race_detection: false,
             cost: CostModel::v100(),
         }
     }
@@ -52,6 +58,7 @@ impl DeviceConfig {
             shared_mem_words: 128 * 1024 / 4,
             l1_sectors_per_sm: 128 * 1024 / 32,
             global_mem_words: 24 * 1024 * 1024,
+            force_race_detection: false,
             cost: CostModel::v100(),
         }
     }
@@ -84,6 +91,13 @@ impl Device {
         let mut cfg = DeviceConfig::v100();
         cfg.global_mem_words = words;
         Device::new(cfg)
+    }
+
+    /// Force the data-race detector on for every launch on this device
+    /// (see [`DeviceConfig::force_race_detection`]).
+    pub fn with_race_detection(mut self) -> Self {
+        self.config.force_race_detection = true;
+        self
     }
 
     pub fn config(&self) -> &DeviceConfig {

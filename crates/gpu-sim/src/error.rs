@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::race::RaceKind;
+
 /// Errors surfaced by the simulator.
 ///
 /// `OutOfMemory` is load-bearing for the reproduction: several of the
@@ -40,6 +42,23 @@ pub enum SimError {
         /// The buffer's length in words.
         len: usize,
     },
+    /// The race detector (see `gpu_sim::race`) caught two lanes of one
+    /// block touching the same word between two barriers, at least one
+    /// of them with a plain (non-atomic) write. On real hardware the
+    /// outcome would be schedule-dependent; the launch fails instead of
+    /// silently reporting whichever interleaving the simulator picked.
+    DataRace {
+        /// Shared-memory word index or global byte address, per `kind`.
+        addr: u64,
+        /// Address space and conflict flavour.
+        kind: RaceKind,
+        /// The two conflicting lanes' thread indices within the block,
+        /// in the order the accesses were simulated.
+        lanes: (u32, u32),
+        /// Where the conflict was observed (barrier-phase number and the
+        /// humanized address), for correlating with kernel source.
+        pc_hint: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -67,6 +86,22 @@ impl fmt::Display for SimError {
             SimError::MemoryFault { buffer, index, len } => write!(
                 f,
                 "device memory fault: `{buffer}`[{index}] out of bounds (len {len})"
+            ),
+            SimError::DataRace {
+                addr,
+                kind,
+                lanes,
+                pc_hint,
+            } => write!(
+                f,
+                "data race: {kind} conflict at {} {addr} between lanes {} and {} ({pc_hint})",
+                if kind.is_shared() {
+                    "shared word"
+                } else {
+                    "global byte address"
+                },
+                lanes.0,
+                lanes.1,
             ),
         }
     }

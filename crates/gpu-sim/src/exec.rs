@@ -1,16 +1,24 @@
 use crate::counters::ProfileCounters;
 use crate::device::Device;
 use crate::mem::{BufId, DeviceMem};
+use crate::race::{Access, RaceTracker};
 use crate::trace::{LaneTrace, Op};
 use crate::{CostModel, SimError, SHARED_BANKS, WARP_SIZE};
 
 /// Launch geometry: `grid_dim` blocks of `block_dim` threads, each block
-/// carrying `shared_words` words of shared memory.
+/// carrying `shared_words` words of shared memory — plus the per-launch
+/// data-race-detection toggle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     pub grid_dim: u32,
     pub block_dim: u32,
     pub shared_words: u32,
+    /// Run this launch under the phase-based data-race detector (see
+    /// `gpu_sim::race`). Off by default so benchmark launches pay ~zero
+    /// cost (a single predictable branch per access); the detector is
+    /// also forced on for every launch on a
+    /// [`Device::with_race_detection`] device.
+    pub race_detect: bool,
 }
 
 impl KernelConfig {
@@ -19,11 +27,18 @@ impl KernelConfig {
             grid_dim,
             block_dim,
             shared_words: 0,
+            race_detect: false,
         }
     }
 
     pub fn with_shared_words(mut self, words: u32) -> Self {
         self.shared_words = words;
+        self
+    }
+
+    /// Toggle the data-race detector for this launch.
+    pub fn with_race_detection(mut self, on: bool) -> Self {
+        self.race_detect = on;
         self
     }
 }
@@ -42,11 +57,10 @@ pub struct BlockCtx<'a> {
     grid_dim: u32,
     shared: Vec<u32>,
     traces: Vec<LaneTrace>,
-    /// Race detector (debug builds): which lane plain-stored each shared
-    /// slot in the current phase. A cross-lane read of such a slot before
-    /// the next barrier is a data race in CUDA.
-    #[cfg(debug_assertions)]
-    shared_writer: Vec<u32>,
+    /// Phase-based data-race detector (`Some` when the launch enabled
+    /// detection): records this block's shared and plain-global accesses
+    /// between barriers and poisons the block on a cross-lane conflict.
+    race: Option<RaceTracker>,
     /// Each warp's slice of the SM's L1 cache, direct-mapped by sector
     /// (concatenated per warp). Captures both the spatial reuse of
     /// sequential scans (a merge re-reads each 32-byte sector ~8 times)
@@ -102,8 +116,7 @@ impl<'a> BlockCtx<'a> {
                 mem: self.mem,
                 shared: &mut self.shared,
                 trace: &mut self.traces[tid as usize],
-                #[cfg(debug_assertions)]
-                shared_writer: &mut self.shared_writer,
+                race: &mut self.race,
                 l1: &mut self.l1[warp..warp + self.l1_slice],
                 l1_mask: self.l1_slice as u64 - 1,
                 tid,
@@ -119,8 +132,9 @@ impl<'a> BlockCtx<'a> {
 
     /// Replay the traces accumulated since the previous barrier.
     fn barrier(&mut self) {
-        #[cfg(debug_assertions)]
-        self.shared_writer.fill(NO_WRITER);
+        if let Some(t) = self.race.as_mut() {
+            t.end_phase();
+        }
         let mut phase_cycles = 0u64;
         for warp in self.traces.chunks(WARP_SIZE) {
             let (cycles, counters) = replay_warp(warp, &self.cost);
@@ -136,14 +150,6 @@ impl<'a> BlockCtx<'a> {
     }
 }
 
-/// Sentinel: the shared slot has not been plain-stored this phase.
-#[cfg(debug_assertions)]
-const NO_WRITER: u32 = u32::MAX;
-/// Sentinel: several lanes stored the *same* value this phase — a benign
-/// write-write idiom (e.g. flags); any lane may read it.
-#[cfg(debug_assertions)]
-const SHARED_WRITERS: u32 = u32::MAX - 1;
-
 /// Per-lane context: the kernel-facing instruction set. Every method both
 /// performs the real operation (against device/shared memory) and records
 /// it in the lane's trace for lockstep replay.
@@ -151,8 +157,7 @@ pub struct LaneCtx<'a, 'b> {
     mem: &'a DeviceMem,
     shared: &'b mut Vec<u32>,
     trace: &'b mut LaneTrace,
-    #[cfg(debug_assertions)]
-    shared_writer: &'b mut Vec<u32>,
+    race: &'b mut Option<RaceTracker>,
     l1: &'b mut [u64],
     l1_mask: u64,
     tid: u32,
@@ -229,6 +234,41 @@ impl LaneCtx<'_, '_> {
         self.fault.is_some()
     }
 
+    /// Run one shared-memory access through the race detector (if the
+    /// launch enabled it); a conflict poisons the block. Out-of-range
+    /// indices are skipped so the subsequent data access reports the
+    /// bounds fault with its usual message.
+    #[inline]
+    fn race_check_shared(&mut self, idx: usize, access: Access) {
+        let tid = self.tid;
+        if let Some(t) = self.race.as_mut() {
+            if idx < self.shared.len() {
+                if let Some(err) = t.check_shared(tid, idx, access) {
+                    self.set_fault(err);
+                }
+            }
+        }
+    }
+
+    /// Run one *plain* global access through the race detector. Atomics
+    /// never come through here: they synchronize with each other and are
+    /// exempt by design.
+    #[inline]
+    fn race_check_global(&mut self, buf: BufId, idx: usize, access: Access) {
+        let tid = self.tid;
+        if self.race.is_some() {
+            let addr = self.mem.addr_of(buf, idx);
+            let name = self.mem.name(buf);
+            if let Some(err) = self
+                .race
+                .as_mut()
+                .and_then(|t| t.check_global(tid, addr, name, idx, access))
+            {
+                self.set_fault(err);
+            }
+        }
+    }
+
     /// Record `n` arithmetic instructions (comparisons, address math...).
     #[inline]
     pub fn compute(&mut self, n: u32) {
@@ -270,6 +310,10 @@ impl LaneCtx<'_, '_> {
             self.l1[slot] = sector;
             self.trace.push(Op::GLoad(addr));
         }
+        self.race_check_global(buf, idx, Access::Read);
+        if self.poisoned() {
+            return 0;
+        }
         val
     }
 
@@ -278,6 +322,23 @@ impl LaneCtx<'_, '_> {
     pub fn st_global(&mut self, buf: BufId, idx: usize, val: u32) {
         if self.poisoned() {
             return;
+        }
+        if self.race.is_some() {
+            // A store of the word's current value is a benign "silent
+            // store"; anything else conflicts with concurrent accesses.
+            if let Ok(cur) = self.mem.try_load(buf, idx) {
+                self.race_check_global(
+                    buf,
+                    idx,
+                    Access::Write {
+                        changes_value: cur != val,
+                    },
+                );
+                if self.poisoned() {
+                    return;
+                }
+            }
+            // On a bounds error, fall through: try_store reports it.
         }
         match self.mem.try_store(buf, idx, val) {
             Ok(()) => self.trace.push(Op::GStore(self.mem.addr_of(buf, idx))),
@@ -380,9 +441,10 @@ impl LaneCtx<'_, '_> {
         }
     }
 
-    /// Load one word from shared memory. In debug builds, reading a slot
-    /// another lane plain-stored since the last barrier panics — that is
-    /// a data race in CUDA (lanes only appear ordered here because the
+    /// Load one word from shared memory. Under race detection, reading a
+    /// slot another lane plain-stores in the same phase — in either
+    /// order — poisons the block with [`SimError::DataRace`]: that is a
+    /// data race in CUDA (lanes only appear ordered here because the
     /// simulator runs them sequentially).
     #[inline]
     pub fn ld_shared(&mut self, idx: usize) -> u32 {
@@ -390,15 +452,9 @@ impl LaneCtx<'_, '_> {
             return 0;
         }
         self.trace.push(Op::SLoad(idx as u32));
-        #[cfg(debug_assertions)]
-        {
-            let w = self.shared_writer[idx];
-            assert!(
-                w == NO_WRITER || w == SHARED_WRITERS || w == self.tid,
-                "shared-memory race: lane {} reads slot {idx} stored by lane {w} \
-                 in the same phase (missing barrier)",
-                self.tid
-            );
+        self.race_check_shared(idx, Access::Read);
+        if self.poisoned() {
+            return 0;
         }
         *self.shared_slot(idx)
     }
@@ -410,24 +466,15 @@ impl LaneCtx<'_, '_> {
             return;
         }
         self.trace.push(Op::SStore(idx as u32));
-        #[cfg(debug_assertions)]
-        {
-            // Record the writer. Concurrent same-value stores (a common
-            // benign idiom, e.g. overflow flags) downgrade to a shared
-            // marker readable by anyone; a conflicting value makes the
-            // last writer exclusive again.
-            let w = self.shared_writer[idx];
-            self.shared_writer[idx] = if w == NO_WRITER {
-                self.tid
-            } else if self.shared[idx] == val {
-                if w == self.tid {
-                    w
-                } else {
-                    SHARED_WRITERS
-                }
-            } else {
-                self.tid
-            };
+        if self.race.is_some() {
+            // Concurrent same-value stores (a common benign idiom, e.g.
+            // several lanes raising an overflow flag) are silent; a
+            // value-changing store conflicts with other lanes' accesses.
+            let changes_value = self.shared.get(idx).is_none_or(|&cur| cur != val);
+            self.race_check_shared(idx, Access::Write { changes_value });
+            if self.poisoned() {
+                return;
+            }
         }
         *self.shared_slot(idx) = val;
     }
@@ -439,6 +486,10 @@ impl LaneCtx<'_, '_> {
             return 0;
         }
         self.trace.push(Op::SAtomic(idx as u32));
+        self.race_check_shared(idx, Access::Atomic);
+        if self.poisoned() {
+            return 0;
+        }
         let w = self.shared_slot(idx);
         let old = *w;
         *w = old.wrapping_add(val);
@@ -452,6 +503,10 @@ impl LaneCtx<'_, '_> {
             return 0;
         }
         self.trace.push(Op::SAtomic(idx as u32));
+        self.race_check_shared(idx, Access::Atomic);
+        if self.poisoned() {
+            return 0;
+        }
         let w = self.shared_slot(idx);
         let old = *w;
         *w = old | val;
@@ -465,6 +520,10 @@ impl LaneCtx<'_, '_> {
             return 0;
         }
         self.trace.push(Op::SAtomic(idx as u32));
+        self.race_check_shared(idx, Access::Atomic);
+        if self.poisoned() {
+            return 0;
+        }
         let w = self.shared_slot(idx);
         let old = *w;
         *w = old & val;
@@ -498,8 +557,8 @@ where
         grid_dim: cfg.grid_dim,
         shared: vec![0u32; cfg.shared_words as usize],
         traces: vec![LaneTrace::default(); cfg.block_dim as usize],
-        #[cfg(debug_assertions)]
-        shared_writer: vec![NO_WRITER; cfg.shared_words as usize],
+        race: (cfg.race_detect || dev.config().force_race_detection)
+            .then(|| RaceTracker::new(cfg.shared_words as usize)),
         l1: vec![u64::MAX; warps * l1_slice],
         l1_slice,
         counters: ProfileCounters::default(),
@@ -509,6 +568,10 @@ where
     kernel(&mut blk);
     // Flush any trailing un-barriered work (kernel end is a barrier).
     blk.barrier();
+    if let Some(t) = &blk.race {
+        blk.counters.race_checks += t.checks;
+        blk.counters.races_detected += t.races;
+    }
     if let Some(err) = blk.fault {
         return Err(err);
     }

@@ -31,7 +31,11 @@
 //! ([`BlockCtx::phase`]). Within a phase each lane runs to completion in
 //! lane order, so cooperative fill-then-use of shared memory across a
 //! barrier is deterministic. Reading a value another lane wrote in the
-//! *same* phase is a data race in CUDA and is unsupported here too.
+//! *same* phase is a data race in CUDA and is unsupported here too: the
+//! phase-based race detector (see [`race`](crate::RaceKind) and
+//! [`KernelConfig::with_race_detection`]) turns such conflicts into
+//! [`SimError::DataRace`] failures instead of silently reporting whichever
+//! interleaving the sequential lane order happened to produce.
 //!
 //! ```
 //! use gpu_sim::{Device, DeviceMem, KernelConfig};
@@ -62,6 +66,7 @@ mod device;
 mod error;
 mod exec;
 mod mem;
+mod race;
 mod schedule;
 mod trace;
 
@@ -71,6 +76,7 @@ pub use device::{Device, DeviceConfig};
 pub use error::SimError;
 pub use exec::{BlockCtx, KernelConfig, LaneCtx};
 pub use mem::{BufId, DeviceMem};
+pub use race::RaceKind;
 pub use schedule::schedule_blocks;
 pub use trace::Op;
 

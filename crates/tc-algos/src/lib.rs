@@ -20,6 +20,7 @@
 
 pub mod api;
 pub mod bisson;
+pub mod conformance;
 pub mod device_graph;
 pub mod fox;
 pub mod green;

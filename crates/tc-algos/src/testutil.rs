@@ -44,9 +44,11 @@ pub fn assert_matches_reference(
     out
 }
 
-/// Upload a DAG and run the algorithm end to end on a fresh V100.
+/// Upload a DAG and run the algorithm end to end on a fresh V100, with
+/// the data-race detector forced on — every fixture-based kernel test
+/// doubles as a race-freedom check.
 pub fn run_on_dag(algo: &dyn TcAlgorithm, dag: &DagGraph) -> u64 {
-    let dev = Device::v100();
+    let dev = Device::v100().with_race_detection();
     let mut mem = DeviceMem::new(&dev);
     let dg = DeviceGraph::upload(dag, &mut mem).expect("upload");
     algo.count(&dev, &mut mem, &dg).expect("count").triangles

@@ -1,0 +1,56 @@
+//! Registry-driven conformance sweep: every registered algorithm —
+//! current and future, with no per-algorithm enrollment — runs the full
+//! differential + metamorphic suite of `tc_algos::conformance` under the
+//! data-race detector.
+//!
+//! Keeping the driver on the registry (rather than a hand-maintained
+//! list) means a tenth algorithm added to
+//! [`registry::all_algorithms`](crate::framework::registry::all_algorithms)
+//! is conformance-tested the moment it is registered.
+
+use tc_algos::api::TcAlgorithm;
+use tc_algos::conformance::{self, ConformanceStats};
+
+use crate::framework::registry::all_algorithms;
+
+/// One algorithm's verdict from a conformance sweep. Construction implies
+/// the algorithm *passed* — any violation panics inside the checks with a
+/// reproduction one-liner for the failing graph.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    pub algorithm: &'static str,
+    pub stats: ConformanceStats,
+}
+
+/// Run the full conformance suite for one algorithm.
+pub fn run_conformance(algo: &dyn TcAlgorithm) -> ConformanceReport {
+    ConformanceReport {
+        algorithm: algo.name(),
+        stats: conformance::run_all(algo),
+    }
+}
+
+/// Run the suite for every algorithm in the registry; panics on the first
+/// violation, otherwise returns one report per registered algorithm.
+pub fn run_conformance_suite() -> Vec<ConformanceReport> {
+    all_algorithms()
+        .iter()
+        .map(|a| run_conformance(a.as_ref()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouptc_passes_the_full_suite() {
+        // The published eight are covered per-algorithm by the workspace
+        // conformance test; this pins the paper's own contribution (the
+        // registry entry tc-algos cannot see) at crate level too.
+        let report = run_conformance(all_algorithms().pop().unwrap().as_ref());
+        assert_eq!(report.algorithm, "GroupTC");
+        assert!(report.stats.runs > 0);
+        assert!(report.stats.race_checks > 0);
+    }
+}

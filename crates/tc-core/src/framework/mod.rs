@@ -2,6 +2,7 @@
 //! dataset preparation, the evaluation runner, and report formatting.
 
 pub mod claims;
+pub mod conformance;
 pub mod csv;
 pub mod registry;
 pub mod report;

@@ -368,6 +368,73 @@ mod tests {
         }
     }
 
+    /// An "implementation" with a missing-barrier bug: every lane stores
+    /// its tid to shared slot 0, then reads it back in the same phase.
+    struct RacyAlgo;
+
+    impl tc_algos::api::TcAlgorithm for RacyAlgo {
+        fn meta(&self) -> tc_algos::api::AlgoMeta {
+            tc_algos::api::AlgoMeta {
+                name: "racy-probe",
+                reference: "synthetic race probe",
+                year: 2024,
+                iterator: tc_algos::api::IteratorKind::Edge,
+                intersection: tc_algos::api::Intersection::Hash,
+                granularity: tc_algos::api::Granularity::Fine,
+            }
+        }
+
+        fn count(
+            &self,
+            dev: &Device,
+            mem: &mut gpu_sim::DeviceMem,
+            _dg: &DeviceGraph,
+        ) -> Result<tc_algos::api::TcOutput, SimError> {
+            let cfg = gpu_sim::KernelConfig::new(1, 64).with_shared_words(1);
+            let stats = dev.launch(mem, cfg, |blk| {
+                blk.phase(|lane| {
+                    lane.st_shared(0, lane.tid());
+                    lane.ld_shared(0);
+                });
+            })?;
+            Ok(tc_algos::api::TcOutput {
+                triangles: 0,
+                stats,
+            })
+        }
+    }
+
+    #[test]
+    fn data_race_surfaces_as_failed_cell_and_csv_row() {
+        // On a race-forced device the sweep must isolate the racy cell as
+        // Failed(DataRace) — not abort, not report a bogus count — and
+        // the CSV row must carry the diagnostic.
+        let dev = Device::v100().with_race_detection();
+        let mut algos = all_algorithms();
+        algos.push(Box::new(RacyAlgo));
+        let data = PreparedDataset::prepare(&tiny_spec());
+        let records: Vec<RunRecord> = algos
+            .iter()
+            .map(|a| run_on_dataset(&dev, a.as_ref(), &data))
+            .collect();
+        let racy = records.last().unwrap();
+        assert!(
+            matches!(racy.outcome, RunOutcome::Failed(SimError::DataRace { .. })),
+            "expected Failed(DataRace), got {:?}",
+            racy.outcome
+        );
+        assert!(
+            records[..records.len() - 1].iter().all(|r| r.is_verified()),
+            "the registered algorithms must verify under the detector"
+        );
+        let mut out = Vec::new();
+        crate::framework::csv::write_records(&mut out, &records).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let row = text.lines().last().unwrap();
+        assert!(row.starts_with("racy-probe,"), "row: {row}");
+        assert!(row.contains("\"failed: data race"), "row: {row}");
+    }
+
     #[test]
     fn faulting_algorithm_is_isolated() {
         let dev = Device::v100();

@@ -17,6 +17,7 @@ pub mod framework;
 pub mod grouptc;
 pub mod grouptc_hybrid;
 
+pub use framework::conformance::{run_conformance, run_conformance_suite, ConformanceReport};
 pub use framework::registry::all_algorithms;
 pub use framework::runner::{
     run_matrix, run_matrix_parallel, run_on_dataset, PreparedDataset, RunOutcome, RunRecord,

@@ -1,0 +1,93 @@
+//! The cross-algorithm conformance suite: every *registered* algorithm —
+//! the list comes from the framework registry, so new algorithms enroll
+//! automatically — must agree with the CPU reference on every generator
+//! family and satisfy the metamorphic invariants (orientation and
+//! vertex-relabeling invariance), all with the simulator's data-race
+//! detector forced on.
+//!
+//! A failure anywhere in here panics with a paste-able generator
+//! one-liner (e.g. `let edges = gen::rmat(9, 3000, 0.57, 0.19, 0.19,
+//! 0.05, 104);`) identifying the exact failing graph.
+
+use tc_compare::algos::conformance::{
+    check_cleaning_idempotence, check_differential, generator_cases,
+};
+use tc_compare::core::framework::conformance::run_conformance;
+use tc_compare::core::{all_algorithms, run_conformance_suite};
+
+#[test]
+fn every_registered_algorithm_passes_differential_and_metamorphic_checks() {
+    let reports = run_conformance_suite();
+    assert_eq!(
+        reports.len(),
+        all_algorithms().len(),
+        "the suite must cover the whole registry"
+    );
+    for r in &reports {
+        assert!(r.stats.runs > 0, "{}: no conformance runs", r.algorithm);
+        assert!(
+            r.stats.race_checks > 0,
+            "{}: race detector never engaged — the suite is not actually \
+             checking for races",
+            r.algorithm
+        );
+    }
+}
+
+#[test]
+fn cleaning_is_invariant_and_idempotent_on_the_conformance_corpus() {
+    for case in generator_cases() {
+        check_cleaning_idempotence(&case);
+    }
+}
+
+#[test]
+fn differential_failures_carry_a_reproduction_one_liner() {
+    // A deliberately wrong "algorithm": reports one triangle too many.
+    struct OffByOne;
+    impl tc_compare::algos::TcAlgorithm for OffByOne {
+        fn meta(&self) -> tc_compare::algos::AlgoMeta {
+            tc_compare::algos::AlgoMeta {
+                name: "off-by-one",
+                reference: "synthetic",
+                year: 2024,
+                iterator: tc_compare::algos::IteratorKind::Vertex,
+                intersection: tc_compare::algos::Intersection::Merge,
+                granularity: tc_compare::algos::Granularity::Coarse,
+            }
+        }
+        fn count(
+            &self,
+            dev: &tc_compare::sim::Device,
+            mem: &mut tc_compare::sim::DeviceMem,
+            dg: &tc_compare::algos::DeviceGraph,
+        ) -> Result<tc_compare::algos::TcOutput, tc_compare::sim::SimError> {
+            let inner = tc_compare::core::GroupTc::default();
+            let mut out = tc_compare::algos::TcAlgorithm::count(&inner, dev, mem, dg)?;
+            out.triangles += 1;
+            Ok(out)
+        }
+    }
+
+    let case = &generator_cases()[0];
+    let err = std::panic::catch_unwind(|| check_differential(&OffByOne, case))
+        .expect_err("a wrong count must fail the differential check");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload should be a formatted message");
+    assert!(
+        msg.contains("reproduce with: let edges = gen::"),
+        "failure message lacks a repro one-liner: {msg}"
+    );
+    assert!(msg.contains(case.repro), "repro call missing: {msg}");
+}
+
+#[test]
+fn conformance_report_shape_is_stable_for_one_algorithm() {
+    let algos = all_algorithms();
+    let report = run_conformance(algos[0].as_ref());
+    assert_eq!(report.algorithm, algos[0].name());
+    // 7 differential cases + 4 metamorphic cases x 4 extra runs each.
+    assert_eq!(report.stats.runs, 7 + 4 * 4);
+}

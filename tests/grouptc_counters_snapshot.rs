@@ -1,0 +1,63 @@
+//! Golden snapshot of GroupTC's profiling counters on a fixed R-MAT
+//! graph. The simulator is deterministic, so these values are exact: any
+//! drift means a change to the modelled memory system, the replay rules,
+//! or GroupTC's kernels — all of which silently re-scale every figure of
+//! the reproduction and must be reviewed (and this snapshot re-pinned)
+//! deliberately.
+
+use tc_compare::algos::{DeviceGraph, TcAlgorithm};
+use tc_compare::core::GroupTc;
+use tc_compare::graph::{clean_edges, gen, orient, Orientation};
+use tc_compare::sim::{Device, DeviceMem, ProfileCounters};
+
+#[test]
+fn grouptc_counters_on_fixed_rmat_are_pinned() {
+    // reproduce with: let edges = gen::rmat(10, 8000, 0.57, 0.19, 0.19, 0.05, 42);
+    let edges = gen::rmat(10, 8000, 0.57, 0.19, 0.19, 0.05, 42);
+    let (g, _) = clean_edges(&edges);
+    let dag = orient(&g, Orientation::DegreeAsc);
+
+    // A plain benchmark-configuration device: race detection off, so the
+    // snapshot also locks `race_checks == 0` for production launches.
+    let dev = Device::v100();
+    let mut mem = DeviceMem::new(&dev);
+    let dg = DeviceGraph::upload(&dag, &mut mem).expect("upload");
+    let out = GroupTc::default()
+        .count(&dev, &mut mem, &dg)
+        .expect("GroupTC run");
+
+    assert_eq!(out.triangles, 24_199);
+    assert_eq!(out.stats.kernel_cycles, 19_262);
+    assert_eq!(
+        out.stats.counters,
+        ProfileCounters {
+            global_load_requests: 8_986,
+            gld_transactions: 43_337,
+            dram_load_sectors: 19_769,
+            global_store_requests: 0,
+            gst_transactions: 0,
+            global_atomic_requests: 192,
+            shared_load_requests: 20_208,
+            shared_store_requests: 2_413,
+            shared_atomic_requests: 0,
+            compute_slots: 20_798,
+            issued_slots: 52_597,
+            active_thread_slots: 1_552_392,
+            race_checks: 0,
+            races_detected: 0,
+        }
+    );
+
+    // The paper's two headline metrics, derived from the fields above.
+    let wee = out.stats.counters.warp_execution_efficiency();
+    assert!(
+        (wee - 0.922339).abs() < 1e-6,
+        "warp_execution_efficiency drifted: {wee}"
+    );
+    let gld_tpr = out.stats.counters.gld_transactions_per_request();
+    assert!(
+        (gld_tpr - 4.822724).abs() < 1e-6,
+        "gld_transactions_per_request drifted: {gld_tpr}"
+    );
+    assert_eq!(out.stats.counters.gst_transactions_per_request(), 0.0);
+}

@@ -8,6 +8,12 @@ use tc_compare::graph::datasets::GenSpec;
 use tc_compare::graph::{DatasetSpec, SizeClass};
 use tc_compare::sim::Device;
 
+/// Paste-able description of the failing fixture: the generator
+/// parameters plus seed reconstruct the graph exactly.
+fn repro(s: &DatasetSpec) -> String {
+    format!("regenerate with: {:?} at seed {}", s.gen, s.seed)
+}
+
 fn spec(name: &'static str, gen: GenSpec, seed: u64) -> DatasetSpec {
     DatasetSpec {
         name,
@@ -77,11 +83,19 @@ fn all_algorithms_exact_on_all_generator_families() {
                     ..
                 } => assert!(
                     verified,
-                    "{} on {}: counted {triangles}, expected {}",
-                    rec.algorithm, s.name, data.ground_truth
+                    "{} on {}: counted {triangles}, expected {}\n  {}",
+                    rec.algorithm,
+                    s.name,
+                    data.ground_truth,
+                    repro(&s)
                 ),
                 RunOutcome::Failed(e) => {
-                    panic!("{} failed on {}: {e}", rec.algorithm, s.name)
+                    panic!(
+                        "{} failed on {}: {e}\n  {}",
+                        rec.algorithm,
+                        s.name,
+                        repro(&s)
+                    )
                 }
             }
         }
@@ -116,7 +130,7 @@ fn profiling_counters_are_sane_for_every_algorithm() {
         let rec = run_on_dataset(&dev, algo.as_ref(), &data);
         let c = rec
             .counters()
-            .unwrap_or_else(|| panic!("{} failed", rec.algorithm));
+            .unwrap_or_else(|| panic!("{} failed\n  {}", rec.algorithm, repro(&s)));
         let eff = c.warp_execution_efficiency();
         assert!(
             (0.0..=1.0).contains(&eff),
@@ -171,7 +185,11 @@ fn runs_are_deterministic() {
                 assert_eq!(k1, k2, "{}: cycles not deterministic", r1.algorithm);
                 assert_eq!(c1, c2, "{}: counters not deterministic", r1.algorithm);
             }
-            other => panic!("{}: unexpected outcomes {other:?}", r1.algorithm),
+            other => panic!(
+                "{}: unexpected outcomes {other:?}\n  {}",
+                r1.algorithm,
+                repro(&s)
+            ),
         }
     }
 }
