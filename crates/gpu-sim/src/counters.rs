@@ -41,6 +41,14 @@ pub struct ProfileCounters {
     /// [`crate::SimError::DataRace`] instead (the first race fails the
     /// launch), so this stays zero on successful launches.
     pub races_detected: u64,
+    /// Accesses vetted by SimSan (see `gpu_sim::sanitize`); zero unless
+    /// the launch enabled the sanitizer — a nonzero value on a clean run
+    /// is the evidence the kernel actually ran sanitized.
+    pub sanitizer_checks: u64,
+    /// Sanitizer reports raised. Like `races_detected`, the first report
+    /// fails the launch as [`crate::SimError::Sanitizer`], so this stays
+    /// zero on successful launches.
+    pub sanitizer_reports: u64,
 }
 
 impl ProfileCounters {
@@ -94,6 +102,8 @@ impl AddAssign for ProfileCounters {
         self.active_thread_slots += rhs.active_thread_slots;
         self.race_checks += rhs.race_checks;
         self.races_detected += rhs.races_detected;
+        self.sanitizer_checks += rhs.sanitizer_checks;
+        self.sanitizer_reports += rhs.sanitizer_reports;
     }
 }
 
@@ -168,12 +178,16 @@ mod tests {
             active_thread_slots: 11,
             race_checks: 12,
             races_detected: 13,
+            sanitizer_checks: 14,
+            sanitizer_reports: 15,
         };
         a += a;
         assert_eq!(a.global_load_requests, 2);
         assert_eq!(a.active_thread_slots, 22);
         assert_eq!(a.race_checks, 24);
         assert_eq!(a.races_detected, 26);
+        assert_eq!(a.sanitizer_checks, 28);
+        assert_eq!(a.sanitizer_reports, 30);
         assert_eq!(a.total_global_requests(), 2 + 6 + 10);
     }
 

@@ -26,6 +26,11 @@ pub struct DeviceConfig {
     /// Test harnesses use this to run algorithms that build their own
     /// launch configurations internally under the detector.
     pub force_race_detection: bool,
+    /// Force SimSan (see `gpu_sim::sanitize`) on for every launch on
+    /// this device, regardless of each launch's
+    /// [`KernelConfig::sanitize`] flag — the sanitizer counterpart of
+    /// `force_race_detection`.
+    pub force_sanitizer: bool,
     pub cost: CostModel,
 }
 
@@ -45,6 +50,7 @@ impl DeviceConfig {
             l1_sectors_per_sm: 128 * 1024 / 32,
             global_mem_words: 16 * 1024 * 1024, // 64 MiB => 16 GB / 256
             force_race_detection: false,
+            force_sanitizer: false,
             cost: CostModel::v100(),
         }
     }
@@ -59,6 +65,7 @@ impl DeviceConfig {
             l1_sectors_per_sm: 128 * 1024 / 32,
             global_mem_words: 24 * 1024 * 1024,
             force_race_detection: false,
+            force_sanitizer: false,
             cost: CostModel::v100(),
         }
     }
@@ -97,6 +104,13 @@ impl Device {
     /// (see [`DeviceConfig::force_race_detection`]).
     pub fn with_race_detection(mut self) -> Self {
         self.config.force_race_detection = true;
+        self
+    }
+
+    /// Force SimSan on for every launch on this device (see
+    /// [`DeviceConfig::force_sanitizer`]).
+    pub fn with_sanitizer(mut self) -> Self {
+        self.config.force_sanitizer = true;
         self
     }
 

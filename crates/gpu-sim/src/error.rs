@@ -1,6 +1,7 @@
 use std::fmt;
 
 use crate::race::RaceKind;
+use crate::sanitize::SanitizerKind;
 
 /// Errors surfaced by the simulator.
 ///
@@ -59,6 +60,27 @@ pub enum SimError {
         /// humanized address), for correlating with kernel source.
         pc_hint: String,
     },
+    /// SimSan (see `gpu_sim::sanitize`) caught a memory-state bug:
+    /// uninit-read, use-after-free, redzone hit, double-free or a leak.
+    /// Lane-side reports poison the block like `MemoryFault`/`DataRace`;
+    /// host-side reports (double-free, dangling copy-back, leak) come
+    /// straight from the `DeviceMem` call that detected them.
+    Sanitizer {
+        /// What went wrong.
+        kind: SanitizerKind,
+        /// Debug name of the buffer involved (`"shared"` for per-block
+        /// shared memory; the live buffer names for a leak).
+        buffer: String,
+        /// Word offset of the offending access within the buffer (for a
+        /// leak: the words still allocated).
+        word: usize,
+        /// The accessing lane's thread index, or `None` for host-side
+        /// reports.
+        lane: Option<u32>,
+        /// Where the report was raised (barrier-phase number and the
+        /// humanized address, or the host operation).
+        pc_hint: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -103,6 +125,19 @@ impl fmt::Display for SimError {
                 lanes.0,
                 lanes.1,
             ),
+            SimError::Sanitizer {
+                kind,
+                buffer,
+                word,
+                lane,
+                pc_hint,
+            } => {
+                write!(f, "sanitizer: {kind} on `{buffer}`[{word}]")?;
+                if let Some(l) = lane {
+                    write!(f, " by lane {l}")?;
+                }
+                write!(f, " ({pc_hint})")
+            }
         }
     }
 }

@@ -2,12 +2,13 @@ use crate::counters::ProfileCounters;
 use crate::device::Device;
 use crate::mem::{BufId, DeviceMem};
 use crate::race::{Access, RaceTracker};
+use crate::sanitize::{SanTracker, ShadowAccess};
 use crate::trace::{LaneTrace, Op};
 use crate::{CostModel, SimError, SHARED_BANKS, WARP_SIZE};
 
 /// Launch geometry: `grid_dim` blocks of `block_dim` threads, each block
 /// carrying `shared_words` words of shared memory — plus the per-launch
-/// data-race-detection toggle.
+/// data-race-detection and sanitizer toggles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     pub grid_dim: u32,
@@ -19,6 +20,11 @@ pub struct KernelConfig {
     /// also forced on for every launch on a
     /// [`Device::with_race_detection`] device.
     pub race_detect: bool,
+    /// Run this launch under SimSan (see `gpu_sim::sanitize`): shadow
+    /// tracking for uninit-read, use-after-free and redzone accesses.
+    /// Off by default like `race_detect`; also forced on for every
+    /// launch on a [`Device::with_sanitizer`] device.
+    pub sanitize: bool,
 }
 
 impl KernelConfig {
@@ -28,6 +34,7 @@ impl KernelConfig {
             block_dim,
             shared_words: 0,
             race_detect: false,
+            sanitize: false,
         }
     }
 
@@ -39,6 +46,12 @@ impl KernelConfig {
     /// Toggle the data-race detector for this launch.
     pub fn with_race_detection(mut self, on: bool) -> Self {
         self.race_detect = on;
+        self
+    }
+
+    /// Toggle SimSan for this launch.
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 }
@@ -61,6 +74,9 @@ pub struct BlockCtx<'a> {
     /// detection): records this block's shared and plain-global accesses
     /// between barriers and poisons the block on a cross-lane conflict.
     race: Option<RaceTracker>,
+    /// SimSan (`Some` when the launch enabled the sanitizer): vets every
+    /// access against the shadow state and poisons the block on a report.
+    san: Option<SanTracker>,
     /// Each warp's slice of the SM's L1 cache, direct-mapped by sector
     /// (concatenated per warp). Captures both the spatial reuse of
     /// sequential scans (a merge re-reads each 32-byte sector ~8 times)
@@ -117,6 +133,7 @@ impl<'a> BlockCtx<'a> {
                 shared: &mut self.shared,
                 trace: &mut self.traces[tid as usize],
                 race: &mut self.race,
+                san: &mut self.san,
                 l1: &mut self.l1[warp..warp + self.l1_slice],
                 l1_mask: self.l1_slice as u64 - 1,
                 tid,
@@ -133,6 +150,9 @@ impl<'a> BlockCtx<'a> {
     /// Replay the traces accumulated since the previous barrier.
     fn barrier(&mut self) {
         if let Some(t) = self.race.as_mut() {
+            t.end_phase();
+        }
+        if let Some(t) = self.san.as_mut() {
             t.end_phase();
         }
         let mut phase_cycles = 0u64;
@@ -158,6 +178,7 @@ pub struct LaneCtx<'a, 'b> {
     shared: &'b mut Vec<u32>,
     trace: &'b mut LaneTrace,
     race: &'b mut Option<RaceTracker>,
+    san: &'b mut Option<SanTracker>,
     l1: &'b mut [u64],
     l1_mask: u64,
     tid: u32,
@@ -269,6 +290,39 @@ impl LaneCtx<'_, '_> {
         }
     }
 
+    /// Vet one shared-memory access against the SimSan shadow (if the
+    /// launch enabled the sanitizer); a report poisons the block. Checks
+    /// never touch the lane trace or the cost model, so a clean kernel's
+    /// counters and cycles are identical sanitizer-on and -off.
+    #[inline]
+    fn san_check_shared(&mut self, idx: usize, access: ShadowAccess) {
+        let tid = self.tid;
+        if let Some(t) = self.san.as_mut() {
+            if let Some(err) = t.check_shared(tid, idx, access) {
+                self.set_fault(err);
+            }
+        }
+    }
+
+    /// Vet one global-memory access against the SimSan shadow. Runs
+    /// *before* the data access so that freed-handle and redzone hits
+    /// carry the sanitizer diagnostic rather than a bare `MemoryFault`.
+    #[inline]
+    fn san_check_global(&mut self, buf: BufId, idx: usize, access: ShadowAccess) {
+        let tid = self.tid;
+        if self.san.is_some() {
+            let state = self.mem.shadow_state(buf, idx);
+            let name = self.mem.name(buf);
+            if let Some(err) = self
+                .san
+                .as_mut()
+                .and_then(|t| t.check_global(tid, state, name, idx, access))
+            {
+                self.set_fault(err);
+            }
+        }
+    }
+
     /// Record `n` arithmetic instructions (comparisons, address math...).
     #[inline]
     pub fn compute(&mut self, n: u32) {
@@ -291,6 +345,10 @@ impl LaneCtx<'_, '_> {
     /// transaction), modelling the spatial locality of sequential scans.
     #[inline]
     pub fn ld_global(&mut self, buf: BufId, idx: usize) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
+        self.san_check_global(buf, idx, ShadowAccess::Read);
         if self.poisoned() {
             return 0;
         }
@@ -323,6 +381,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return;
         }
+        self.san_check_global(buf, idx, ShadowAccess::Write);
+        if self.poisoned() {
+            return;
+        }
         if self.race.is_some() {
             // A store of the word's current value is a benign "silent
             // store"; anything else conflicts with concurrent accesses.
@@ -352,6 +414,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
+        self.san_check_global(buf, idx, ShadowAccess::Atomic);
+        if self.poisoned() {
+            return 0;
+        }
         match self.mem.try_fetch_add(buf, idx, val) {
             Ok(old) => {
                 self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
@@ -367,6 +433,10 @@ impl LaneCtx<'_, '_> {
     /// `atomicOr` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_or_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
+        self.san_check_global(buf, idx, ShadowAccess::Atomic);
         if self.poisoned() {
             return 0;
         }
@@ -388,6 +458,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
+        self.san_check_global(buf, idx, ShadowAccess::Atomic);
+        if self.poisoned() {
+            return 0;
+        }
         match self.mem.try_fetch_and(buf, idx, val) {
             Ok(old) => {
                 self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
@@ -403,6 +477,10 @@ impl LaneCtx<'_, '_> {
     /// `atomicCAS` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_cas_global(&mut self, buf: BufId, idx: usize, cur: u32, new: u32) -> u32 {
+        if self.poisoned() {
+            return 0;
+        }
+        self.san_check_global(buf, idx, ShadowAccess::Atomic);
         if self.poisoned() {
             return 0;
         }
@@ -428,6 +506,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return;
         }
+        self.san_check_global(buf, idx, ShadowAccess::Atomic);
+        if self.poisoned() {
+            return;
+        }
         if let Err(e) = self.mem.try_fetch_add(buf, idx, val) {
             self.set_fault(e);
         }
@@ -445,13 +527,16 @@ impl LaneCtx<'_, '_> {
     /// slot another lane plain-stores in the same phase — in either
     /// order — poisons the block with [`SimError::DataRace`]: that is a
     /// data race in CUDA (lanes only appear ordered here because the
-    /// simulator runs them sequentially).
+    /// simulator runs them sequentially). Under SimSan, reading a slot no
+    /// lane of this block has stored is an uninit-read: the simulator
+    /// zero-fills shared memory for determinism, but CUDA does not.
     #[inline]
     pub fn ld_shared(&mut self, idx: usize) -> u32 {
         if self.poisoned() {
             return 0;
         }
         self.trace.push(Op::SLoad(idx as u32));
+        self.san_check_shared(idx, ShadowAccess::Read);
         self.race_check_shared(idx, Access::Read);
         if self.poisoned() {
             return 0;
@@ -466,6 +551,7 @@ impl LaneCtx<'_, '_> {
             return;
         }
         self.trace.push(Op::SStore(idx as u32));
+        self.san_check_shared(idx, ShadowAccess::Write);
         if self.race.is_some() {
             // Concurrent same-value stores (a common benign idiom, e.g.
             // several lanes raising an overflow flag) are silent; a
@@ -486,6 +572,7 @@ impl LaneCtx<'_, '_> {
             return 0;
         }
         self.trace.push(Op::SAtomic(idx as u32));
+        self.san_check_shared(idx, ShadowAccess::Atomic);
         self.race_check_shared(idx, Access::Atomic);
         if self.poisoned() {
             return 0;
@@ -503,6 +590,7 @@ impl LaneCtx<'_, '_> {
             return 0;
         }
         self.trace.push(Op::SAtomic(idx as u32));
+        self.san_check_shared(idx, ShadowAccess::Atomic);
         self.race_check_shared(idx, Access::Atomic);
         if self.poisoned() {
             return 0;
@@ -520,6 +608,7 @@ impl LaneCtx<'_, '_> {
             return 0;
         }
         self.trace.push(Op::SAtomic(idx as u32));
+        self.san_check_shared(idx, ShadowAccess::Atomic);
         self.race_check_shared(idx, Access::Atomic);
         if self.poisoned() {
             return 0;
@@ -559,6 +648,8 @@ where
         traces: vec![LaneTrace::default(); cfg.block_dim as usize],
         race: (cfg.race_detect || dev.config().force_race_detection)
             .then(|| RaceTracker::new(cfg.shared_words as usize)),
+        san: (cfg.sanitize || dev.config().force_sanitizer)
+            .then(|| SanTracker::new(cfg.shared_words as usize)),
         l1: vec![u64::MAX; warps * l1_slice],
         l1_slice,
         counters: ProfileCounters::default(),
@@ -571,6 +662,10 @@ where
     if let Some(t) = &blk.race {
         blk.counters.race_checks += t.checks;
         blk.counters.races_detected += t.races;
+    }
+    if let Some(t) = &blk.san {
+        blk.counters.sanitizer_checks += t.checks;
+        blk.counters.sanitizer_reports += t.reports;
     }
     if let Some(err) = blk.fault {
         return Err(err);

@@ -67,6 +67,7 @@ mod error;
 mod exec;
 mod mem;
 mod race;
+mod sanitize;
 mod schedule;
 mod trace;
 
@@ -77,6 +78,7 @@ pub use error::SimError;
 pub use exec::{BlockCtx, KernelConfig, LaneCtx};
 pub use mem::{BufId, DeviceMem};
 pub use race::RaceKind;
+pub use sanitize::SanitizerKind;
 pub use schedule::schedule_blocks;
 pub use trace::Op;
 

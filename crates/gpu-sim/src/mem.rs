@@ -1,10 +1,16 @@
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
+use crate::sanitize::{SanitizerKind, ShadowState};
 use crate::{Device, SimError};
 
 /// Handle to a device-memory buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufId(pub(crate) usize);
+
+/// Deterministic garbage filled into [`DeviceMem::alloc_uninit`] buffers,
+/// so a kernel that consumes an uninitialized word without the sanitizer
+/// on still gets a reproducible (and conspicuous) value.
+const UNINIT_PATTERN: u32 = 0xDEAD_BEEF;
 
 struct Buffer {
     /// Byte address of the first word in the flat device address space.
@@ -14,6 +20,26 @@ struct Buffer {
     padded_words: u64,
     data: Vec<AtomicU32>,
     name: String,
+    /// Set by [`DeviceMem::free`]; the slot is retired for good so stale
+    /// handles are caught even after the extent is reused.
+    freed: bool,
+    /// SimSan per-word init shadow: `None` means every word is `Init`
+    /// (zeroed / copied-from-host buffers), `Some` tracks which words of
+    /// an [`DeviceMem::alloc_uninit`] buffer have been written. Promotion
+    /// to init happens on every store/RMW/fill, sanitizer on or off, so
+    /// a later sanitized launch never false-positives on earlier writes.
+    shadow: Option<Vec<AtomicBool>>,
+}
+
+impl Buffer {
+    #[inline]
+    fn mark_init(&self, idx: usize) {
+        if let Some(shadow) = &self.shadow {
+            if let Some(s) = shadow.get(idx) {
+                s.store(true, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// The device's global-memory address space.
@@ -99,21 +125,38 @@ impl DeviceMem {
             padded_words,
             data: Vec::new(),
             name: name.to_string(),
+            freed: false,
+            shadow: None,
         });
         Ok(BufId(self.buffers.len() - 1))
     }
 
-    /// Allocate and copy a host slice to the device.
+    /// Allocate and copy a host slice to the device. Every word is
+    /// host-defined, so the buffer is born fully `Init` for SimSan.
     pub fn alloc_from_slice(&mut self, data: &[u32], name: &str) -> Result<BufId, SimError> {
         let id = self.alloc_inner(data.len(), name)?;
         self.buffers[id.0].data = data.iter().map(|&w| AtomicU32::new(w)).collect();
         Ok(id)
     }
 
-    /// Allocate a zero-filled buffer.
+    /// Allocate a zero-filled buffer (`cudaMalloc` + `cudaMemset(0)`):
+    /// fully `Init` for SimSan.
     pub fn alloc_zeroed(&mut self, len: usize, name: &str) -> Result<BufId, SimError> {
         let id = self.alloc_inner(len, name)?;
         self.buffers[id.0].data = (0..len).map(|_| AtomicU32::new(0)).collect();
+        Ok(id)
+    }
+
+    /// Allocate without initializing — the honest `cudaMalloc` analog.
+    /// Words hold a deterministic garbage pattern and are born `Uninit`
+    /// in the SimSan shadow: a sanitized launch that reads one before
+    /// any store reports [`SimError::Sanitizer`] with
+    /// [`SanitizerKind::UninitRead`].
+    pub fn alloc_uninit(&mut self, len: usize, name: &str) -> Result<BufId, SimError> {
+        let id = self.alloc_inner(len, name)?;
+        let buf = &mut self.buffers[id.0];
+        buf.data = (0..len).map(|_| AtomicU32::new(UNINIT_PATTERN)).collect();
+        buf.shadow = Some((0..len).map(|_| AtomicBool::new(false)).collect());
         Ok(id)
     }
 
@@ -122,12 +165,29 @@ impl DeviceMem {
     /// neighbours, so a later allocation can reuse it). The handle (and
     /// any copy of it) must not be used afterwards; the slot keeps its
     /// base address so stale handles fail loudly on access.
-    pub fn free(&mut self, id: BufId) {
+    ///
+    /// Freeing the same handle twice is refused with
+    /// [`SimError::Sanitizer`] ([`SanitizerKind::DoubleFree`]) — before
+    /// this check, a second free would re-push the extent onto the free
+    /// list and under-count `allocated_words`, corrupting the allocator.
+    /// This check is always on; it guards the harness's own accounting.
+    pub fn free(&mut self, id: BufId) -> Result<(), SimError> {
         let buf = &mut self.buffers[id.0];
+        if buf.freed {
+            return Err(SimError::Sanitizer {
+                kind: SanitizerKind::DoubleFree,
+                buffer: buf.name.clone(),
+                word: 0,
+                lane: None,
+                pc_hint: "host free".to_string(),
+            });
+        }
         let (mut base, mut size) = (buf.base, buf.padded_words * 4);
         self.allocated_words -= buf.padded_words;
         buf.padded_words = 0;
         buf.data = Vec::new();
+        buf.shadow = None;
+        buf.freed = true;
         buf.name.push_str(" (freed)");
         // Insert sorted by base, merging with the previous and next
         // extents when they touch.
@@ -152,15 +212,85 @@ impl DeviceMem {
             let at = self.free_extents.partition_point(|&(b, _)| b < base);
             self.free_extents.insert(at, (base, size));
         }
+        Ok(())
     }
 
-    /// Copy a buffer back to the host.
+    /// Copy a buffer back to the host. Copy-back from a freed buffer is a
+    /// harness bug and panics (use [`DeviceMem::try_read_back`] to get a
+    /// structured error instead).
     pub fn read_back(&self, id: BufId) -> Vec<u32> {
-        self.buffers[id.0]
-            .data
+        match self.try_read_back(id) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible copy-back: a freed buffer yields [`SimError::Sanitizer`]
+    /// with [`SanitizerKind::UseAfterFree`] (the dangling-`cudaMemcpy`
+    /// case) instead of silently returning another buffer's bytes or an
+    /// empty vector.
+    pub fn try_read_back(&self, id: BufId) -> Result<Vec<u32>, SimError> {
+        let buf = &self.buffers[id.0];
+        if buf.freed {
+            return Err(SimError::Sanitizer {
+                kind: SanitizerKind::UseAfterFree,
+                buffer: buf.name.clone(),
+                word: 0,
+                lane: None,
+                pc_hint: "host copy-back".to_string(),
+            });
+        }
+        Ok(buf.data.iter().map(|w| w.load(Ordering::Relaxed)).collect())
+    }
+
+    /// End-of-run leak check: every buffer must have been freed. Returns
+    /// [`SimError::Sanitizer`] with [`SanitizerKind::Leak`] naming the
+    /// still-live buffers otherwise. Like double-free detection this is
+    /// not gated on the per-launch sanitizer toggle — the conformance
+    /// harness calls it after every algorithm run.
+    pub fn leak_check(&self) -> Result<(), SimError> {
+        if self.allocated_words == 0 {
+            return Ok(());
+        }
+        let live: Vec<&str> = self
+            .buffers
             .iter()
-            .map(|w| w.load(Ordering::Relaxed))
-            .collect()
+            .filter(|b| !b.freed)
+            .map(|b| b.name.as_str())
+            .collect();
+        Err(SimError::Sanitizer {
+            kind: SanitizerKind::Leak,
+            buffer: live.join(", "),
+            word: self.allocated_words as usize,
+            lane: None,
+            pc_hint: "end-of-run leak check".to_string(),
+        })
+    }
+
+    /// SimSan probe: where `idx` of `id` sits in the shadow lattice.
+    #[inline]
+    pub(crate) fn shadow_state(&self, id: BufId, idx: usize) -> ShadowState {
+        let buf = &self.buffers[id.0];
+        if buf.freed {
+            return ShadowState::Freed;
+        }
+        if idx < buf.data.len() {
+            return match &buf.shadow {
+                None => ShadowState::Init,
+                Some(shadow) => {
+                    if shadow[idx].load(Ordering::Relaxed) {
+                        ShadowState::Init
+                    } else {
+                        ShadowState::Uninit
+                    }
+                }
+            };
+        }
+        if (idx as u64) < buf.padded_words {
+            ShadowState::Redzone
+        } else {
+            ShadowState::OutOfBounds
+        }
     }
 
     /// Number of words in a buffer.
@@ -173,10 +303,17 @@ impl DeviceMem {
         self.buffers[id.0].data.is_empty()
     }
 
-    /// Host-side fill (no traffic counted) — the CUDA `cudaMemset` analog.
+    /// Host-side fill (no traffic counted) — the CUDA `cudaMemset`
+    /// analog. Defines every word, so the whole buffer becomes `Init`.
     pub fn fill(&self, id: BufId, value: u32) {
-        for w in &self.buffers[id.0].data {
+        let buf = &self.buffers[id.0];
+        for w in &buf.data {
             w.store(value, Ordering::Relaxed);
+        }
+        if let Some(shadow) = &buf.shadow {
+            for s in shadow {
+                s.store(true, Ordering::Relaxed);
+            }
         }
     }
 
@@ -228,22 +365,29 @@ impl DeviceMem {
     #[inline]
     pub(crate) fn try_store(&self, id: BufId, idx: usize, val: u32) -> Result<(), SimError> {
         self.try_word(id, idx)?.store(val, Ordering::Relaxed);
+        self.buffers[id.0].mark_init(idx);
         Ok(())
     }
 
     #[inline]
     pub(crate) fn try_fetch_add(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
-        Ok(self.try_word(id, idx)?.fetch_add(val, Ordering::Relaxed))
+        let old = self.try_word(id, idx)?.fetch_add(val, Ordering::Relaxed);
+        self.buffers[id.0].mark_init(idx);
+        Ok(old)
     }
 
     #[inline]
     pub(crate) fn try_fetch_or(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
-        Ok(self.try_word(id, idx)?.fetch_or(val, Ordering::Relaxed))
+        let old = self.try_word(id, idx)?.fetch_or(val, Ordering::Relaxed);
+        self.buffers[id.0].mark_init(idx);
+        Ok(old)
     }
 
     #[inline]
     pub(crate) fn try_fetch_and(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
-        Ok(self.try_word(id, idx)?.fetch_and(val, Ordering::Relaxed))
+        let old = self.try_word(id, idx)?.fetch_and(val, Ordering::Relaxed);
+        self.buffers[id.0].mark_init(idx);
+        Ok(old)
     }
 
     #[inline]
@@ -254,14 +398,16 @@ impl DeviceMem {
         cur: u32,
         new: u32,
     ) -> Result<u32, SimError> {
-        match self.try_word(id, idx)?.compare_exchange(
+        let old = match self.try_word(id, idx)?.compare_exchange(
             cur,
             new,
             Ordering::Relaxed,
             Ordering::Relaxed,
         ) {
-            Ok(old) | Err(old) => Ok(old),
-        }
+            Ok(old) | Err(old) => old,
+        };
+        self.buffers[id.0].mark_init(idx);
+        Ok(old)
     }
 
     #[cfg(test)]
@@ -328,9 +474,116 @@ mod tests {
         let dev = small_device();
         let mut mem = DeviceMem::new(&dev);
         let b = mem.alloc_zeroed(1000, "big").unwrap();
-        mem.free(b);
+        mem.free(b).unwrap();
         assert_eq!(mem.allocated_words(), 0);
         mem.alloc_zeroed(1000, "again").unwrap();
+    }
+
+    #[test]
+    fn double_free_is_refused_and_accounting_survives() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_zeroed(64, "scratch").unwrap();
+        mem.free(b).unwrap();
+        let err = mem.free(b).unwrap_err();
+        match err {
+            SimError::Sanitizer {
+                kind, buffer, lane, ..
+            } => {
+                assert_eq!(kind, SanitizerKind::DoubleFree);
+                assert_eq!(buffer, "scratch (freed)");
+                assert_eq!(lane, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The failed second free must not have corrupted the books: the
+        // whole device is still allocatable exactly once.
+        assert_eq!(mem.allocated_words(), 0);
+        mem.alloc_zeroed(1000, "all").unwrap();
+        assert!(mem.alloc_zeroed(64, "over").is_err());
+    }
+
+    #[test]
+    fn freed_marker_does_not_grow_across_reuse_cycles() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_zeroed(64, "cyc").unwrap();
+        mem.free(b).unwrap();
+        for _ in 0..10 {
+            assert!(mem.free(b).is_err());
+        }
+        assert_eq!(mem.name(b), "cyc (freed)");
+    }
+
+    #[test]
+    fn uninit_alloc_carries_shadow_and_writes_promote() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_uninit(4, "raw").unwrap();
+        assert_eq!(mem.read_back(b), vec![UNINIT_PATTERN; 4]);
+        assert_eq!(mem.shadow_state(b, 0), ShadowState::Uninit);
+        mem.try_store(b, 0, 7).unwrap();
+        assert_eq!(mem.shadow_state(b, 0), ShadowState::Init);
+        assert_eq!(mem.shadow_state(b, 1), ShadowState::Uninit);
+        mem.try_fetch_add(b, 1, 1).unwrap();
+        assert_eq!(mem.shadow_state(b, 1), ShadowState::Init);
+        mem.fill(b, 0);
+        assert_eq!(mem.shadow_state(b, 3), ShadowState::Init);
+    }
+
+    #[test]
+    fn shadow_states_cover_redzone_freed_and_oob() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        // 4 words pad to a 64-word extent: [4, 64) is redzone.
+        let b = mem.alloc_zeroed(4, "z").unwrap();
+        assert_eq!(mem.shadow_state(b, 3), ShadowState::Init);
+        assert_eq!(mem.shadow_state(b, 4), ShadowState::Redzone);
+        assert_eq!(mem.shadow_state(b, 63), ShadowState::Redzone);
+        assert_eq!(mem.shadow_state(b, 64), ShadowState::OutOfBounds);
+        mem.free(b).unwrap();
+        assert_eq!(mem.shadow_state(b, 0), ShadowState::Freed);
+        assert_eq!(mem.shadow_state(b, 999), ShadowState::Freed);
+    }
+
+    #[test]
+    fn copy_back_from_freed_buffer_is_caught() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let b = mem.alloc_zeroed(4, "gone").unwrap();
+        mem.free(b).unwrap();
+        let err = mem.try_read_back(b).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Sanitizer {
+                kind: SanitizerKind::UseAfterFree,
+                lane: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn leak_check_names_live_buffers() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        assert!(mem.leak_check().is_ok());
+        let a = mem.alloc_zeroed(4, "kept").unwrap();
+        let b = mem.alloc_zeroed(4, "dropped").unwrap();
+        mem.free(b).unwrap();
+        let err = mem.leak_check().unwrap_err();
+        match err {
+            SimError::Sanitizer {
+                kind, buffer, word, ..
+            } => {
+                assert_eq!(kind, SanitizerKind::Leak);
+                assert_eq!(buffer, "kept");
+                assert_eq!(word, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        mem.free(a).unwrap();
+        assert!(mem.leak_check().is_ok());
     }
 
     #[test]
@@ -342,7 +595,7 @@ mod tests {
         // after a free landed at an ever-higher base.
         let a = mem.alloc_zeroed(512, "a").unwrap();
         let base_a = mem.addr_of(a, 0);
-        mem.free(a);
+        mem.free(a).unwrap();
         for round in 0..100 {
             let b = mem.alloc_zeroed(512, "b").unwrap();
             assert_eq!(
@@ -350,7 +603,7 @@ mod tests {
                 base_a,
                 "round {round}: freed extent not reused"
             );
-            mem.free(b);
+            mem.free(b).unwrap();
         }
     }
 
@@ -365,8 +618,8 @@ mod tests {
         let base_c = mem.addr_of(c, 0);
         // Free a and b in either order: their extents merge, so a single
         // 128-word allocation fits where two 64-word buffers were.
-        mem.free(a);
-        mem.free(b);
+        mem.free(a).unwrap();
+        mem.free(b).unwrap();
         let big = mem.alloc_zeroed(128, "big").unwrap();
         assert_eq!(mem.addr_of(big, 0), base_a);
         // c is still live and untouched.
@@ -380,7 +633,7 @@ mod tests {
         let mut mem = DeviceMem::new(&dev);
         let a = mem.alloc_zeroed(64, "a").unwrap();
         let b = mem.alloc_zeroed(64, "b").unwrap();
-        mem.free(b);
+        mem.free(b).unwrap();
         // b was the topmost extent, so its space rejoins the bump region
         // and the next same-size allocation lands exactly where b was.
         let b2 = mem.alloc_zeroed(64, "b2").unwrap();

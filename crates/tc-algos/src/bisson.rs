@@ -87,6 +87,18 @@ impl TcAlgorithm for Bisson {
             let bd = blk.block_dim();
             let slot_base = (blk.block_idx() as usize) * bitmap_words as usize;
             let mut locals = vec![0u32; bd as usize];
+            if global_bitmaps.is_none() {
+                // Shared memory starts as garbage on real hardware: clear
+                // the block's bitmap once before the first build phase
+                // (phase 3 re-clears the touched bits after each vertex).
+                blk.phase(|lane| {
+                    let mut w = lane.tid() as usize;
+                    while w < bitmap_words as usize {
+                        lane.st_shared(w, 0);
+                        w += bd as usize;
+                    }
+                });
+            }
             let mut u = blk.block_idx();
             while u < nv {
                 // Phase 1: build the bitmap of N(u) with atomic ORs.
@@ -165,9 +177,9 @@ impl TcAlgorithm for Bisson {
         })?;
 
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         if let Some(bufs) = global_bitmaps {
-            mem.free(bufs);
+            mem.free(bufs)?;
         }
         Ok(TcOutput { triangles, stats })
     }

@@ -1,11 +1,15 @@
 //! Cross-algorithm conformance checks: differential testing against the
 //! CPU reference plus metamorphic invariants, all executed under the
-//! simulator's data-race detector.
+//! simulator's data-race detector *and* SimSan.
 //!
-//! Every check runs on a [`Device::with_race_detection`] device, so a
-//! kernel that only *appears* correct because the simulator serializes
-//! lanes fails here with [`SimError::DataRace`] instead of passing on a
-//! schedule-dependent answer.
+//! Every check runs on a [`Device::with_race_detection`] +
+//! [`Device::with_sanitizer`] device, so a kernel that only *appears*
+//! correct because the simulator serializes lanes (or zero-fills memory
+//! that real hardware leaves as garbage) fails here with
+//! [`SimError::DataRace`] or [`SimError::Sanitizer`] instead of passing
+//! on a schedule-dependent answer. After each run the device graph is
+//! freed and [`DeviceMem::leak_check`] pins that the algorithm released
+//! every scratch buffer it allocated.
 //!
 //! Failure messages always embed a paste-able generator call (kept in
 //! sync with the actual case construction by `stringify!`), so any red
@@ -72,12 +76,18 @@ pub fn generator_cases() -> Vec<ConformanceCase> {
     ]
 }
 
-/// Run `algo` on `dag` end to end with the data-race detector forced on.
+/// Run `algo` on `dag` end to end with the data-race detector and SimSan
+/// forced on, then free the graph and leak-check the device: an
+/// algorithm that abandons a scratch buffer fails here with
+/// [`SimError::Sanitizer`] (leak).
 pub fn run_checked(algo: &dyn TcAlgorithm, dag: &DagGraph) -> Result<TcOutput, SimError> {
-    let dev = Device::v100().with_race_detection();
+    let dev = Device::v100().with_race_detection().with_sanitizer();
     let mut mem = DeviceMem::new(&dev);
     let dg = DeviceGraph::upload(dag, &mut mem)?;
-    algo.count(&dev, &mut mem, &dg)
+    let out = algo.count(&dev, &mut mem, &dg)?;
+    dg.free(&mut mem)?;
+    mem.leak_check()?;
+    Ok(out)
 }
 
 /// `run_checked` under the algorithm's preferred orientation, panicking
@@ -98,9 +108,9 @@ fn count_or_die(algo: &dyn TcAlgorithm, case: &ConformanceCase, dag: &DagGraph) 
 
 /// Differential check: the GPU count must equal the CPU node-iterator
 /// baseline (an implementation independent of orientation and of every
-/// GPU intersection strategy). Returns the detector's check count so
-/// callers can prove the detector was live.
-pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> u64 {
+/// GPU intersection strategy). Returns the race-detector and sanitizer
+/// check counts so callers can prove both were live.
+pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> (u64, u64) {
     let (g, _) = clean_edges(&case.edges);
     let expected = cpu_ref::node_iterator(&g);
     let dag = orient(&g, algo.preferred_orientation());
@@ -121,7 +131,16 @@ pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> u64
         algo.name(),
         case.name,
     );
-    out.stats.counters.race_checks
+    assert!(
+        out.stats.counters.sanitizer_checks > 0,
+        "{}: sanitizer performed no checks on `{}` — SimSan wiring is broken",
+        algo.name(),
+        case.name,
+    );
+    (
+        out.stats.counters.race_checks,
+        out.stats.counters.sanitizer_checks,
+    )
 }
 
 /// Metamorphic check: the triangle count is a graph invariant, so the
@@ -263,6 +282,9 @@ pub struct ConformanceStats {
     /// Race-detector checks accumulated across the differential runs —
     /// nonzero proves the suite exercised the detector.
     pub race_checks: u64,
+    /// SimSan checks accumulated across the differential runs — nonzero
+    /// proves the suite actually ran sanitized.
+    pub sanitizer_checks: u64,
 }
 
 /// Run the full conformance suite for one algorithm: differential on
@@ -271,9 +293,12 @@ pub fn run_all(algo: &dyn TcAlgorithm) -> ConformanceStats {
     let mut stats = ConformanceStats {
         runs: 0,
         race_checks: 0,
+        sanitizer_checks: 0,
     };
     for case in generator_cases() {
-        stats.race_checks += check_differential(algo, &case);
+        let (race_checks, sanitizer_checks) = check_differential(algo, &case);
+        stats.race_checks += race_checks;
+        stats.sanitizer_checks += sanitizer_checks;
         stats.runs += 1;
         if case.metamorphic {
             check_orientation_invariance(algo, &case);

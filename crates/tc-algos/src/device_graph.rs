@@ -66,12 +66,14 @@ impl DeviceGraph {
         self.num_edges as f64 / self.num_vertices as f64
     }
 
-    /// Release the graph's device buffers.
-    pub fn free(self, mem: &mut DeviceMem) {
-        mem.free(self.row_offsets);
-        mem.free(self.col_indices);
-        mem.free(self.edge_src);
-        mem.free(self.edge_dst);
+    /// Release the graph's device buffers. Freeing the same graph twice
+    /// surfaces as [`SimError::Sanitizer`] (double-free).
+    pub fn free(self, mem: &mut DeviceMem) -> Result<(), SimError> {
+        mem.free(self.row_offsets)?;
+        mem.free(self.col_indices)?;
+        mem.free(self.edge_src)?;
+        mem.free(self.edge_dst)?;
+        Ok(())
     }
 }
 
@@ -108,8 +110,9 @@ mod tests {
         let (_, mut mem, dg) = upload_triangle();
         let before = mem.allocated_words();
         assert!(before > 0);
-        dg.free(&mut mem);
+        dg.free(&mut mem).unwrap();
         assert_eq!(mem.allocated_words(), 0);
+        assert!(mem.leak_check().is_ok());
     }
 
     #[test]

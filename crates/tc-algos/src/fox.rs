@@ -138,11 +138,11 @@ impl TcAlgorithm for Fox {
                 counter,
                 self.strategy,
             )?;
-            mem.free(edge_ids);
+            mem.free(edge_ids)?;
         }
 
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
 }

@@ -160,8 +160,8 @@ impl TcAlgorithm for HIndex {
         })?;
 
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
-        mem.free(arena);
+        mem.free(counter)?;
+        mem.free(arena)?;
         Ok(TcOutput { triangles, stats })
     }
 }

@@ -151,7 +151,7 @@ impl TcAlgorithm for Hu {
         })?;
 
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
 }

@@ -102,7 +102,7 @@ impl TcAlgorithm for Polak {
         })?;
 
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
 }

@@ -45,13 +45,16 @@ pub fn assert_matches_reference(
 }
 
 /// Upload a DAG and run the algorithm end to end on a fresh V100, with
-/// the data-race detector forced on — every fixture-based kernel test
-/// doubles as a race-freedom check.
+/// the data-race detector and SimSan forced on — every fixture-based
+/// kernel test doubles as a race-freedom, memory-state and leak check.
 pub fn run_on_dag(algo: &dyn TcAlgorithm, dag: &DagGraph) -> u64 {
-    let dev = Device::v100().with_race_detection();
+    let dev = Device::v100().with_race_detection().with_sanitizer();
     let mut mem = DeviceMem::new(&dev);
     let dg = DeviceGraph::upload(dag, &mut mem).expect("upload");
-    algo.count(&dev, &mut mem, &dg).expect("count").triangles
+    let triangles = algo.count(&dev, &mut mem, &dg).expect("count").triangles;
+    dg.free(&mut mem).expect("free device graph");
+    mem.leak_check().expect("algorithm leaked device buffers");
+    triangles
 }
 
 /// A batch of structurally diverse small graphs every algorithm must get

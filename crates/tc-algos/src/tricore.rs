@@ -172,7 +172,7 @@ impl TcAlgorithm for TriCore {
         })?;
 
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
 }

@@ -86,16 +86,16 @@ impl TcAlgorithm for Trust {
         if !high.is_empty() {
             let list = mem.alloc_from_slice(&high, "trust.high_vertices")?;
             stats += run_mode(dev, mem, g, list, high.len() as u32, counter, Mode::Block)?;
-            mem.free(list);
+            mem.free(list)?;
         }
         if !low.is_empty() {
             let list = mem.alloc_from_slice(&low, "trust.warp_vertices")?;
             stats += run_mode(dev, mem, g, list, low.len() as u32, counter, Mode::Warp)?;
-            mem.free(list);
+            mem.free(list)?;
         }
 
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
 }

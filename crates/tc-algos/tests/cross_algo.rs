@@ -33,7 +33,7 @@ fn all_published_algorithms_agree_on_every_fixture() {
             let out = algo.count(&dev, &mut mem, &dg).unwrap();
             assert_eq!(out.triangles, expected, "{} wrong on {name}", algo.name());
             // Auxiliary allocations must all have been released.
-            dg.free(&mut mem);
+            dg.free(&mut mem).unwrap();
             assert_eq!(
                 mem.allocated_words(),
                 0,

@@ -1,7 +1,7 @@
 //! Registry-driven conformance sweep: every registered algorithm —
 //! current and future, with no per-algorithm enrollment — runs the full
 //! differential + metamorphic suite of `tc_algos::conformance` under the
-//! data-race detector.
+//! data-race detector and SimSan (with an end-of-run leak check).
 //!
 //! Keeping the driver on the registry (rather than a hand-maintained
 //! list) means a tenth algorithm added to
@@ -52,5 +52,6 @@ mod tests {
         assert_eq!(report.algorithm, "GroupTC");
         assert!(report.stats.runs > 0);
         assert!(report.stats.race_checks > 0);
+        assert!(report.stats.sanitizer_checks > 0);
     }
 }

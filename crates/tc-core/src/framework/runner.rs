@@ -404,6 +404,83 @@ mod tests {
         }
     }
 
+    /// An "implementation" that consumes a scratch buffer it never
+    /// initialized — the bug class cuda-memcheck's initcheck exists for.
+    struct UninitAlgo;
+
+    impl tc_algos::api::TcAlgorithm for UninitAlgo {
+        fn meta(&self) -> tc_algos::api::AlgoMeta {
+            tc_algos::api::AlgoMeta {
+                name: "uninit-probe",
+                reference: "synthetic sanitizer probe",
+                year: 2024,
+                iterator: tc_algos::api::IteratorKind::Vertex,
+                intersection: tc_algos::api::Intersection::BitMap,
+                granularity: tc_algos::api::Granularity::Coarse,
+            }
+        }
+
+        fn count(
+            &self,
+            dev: &Device,
+            mem: &mut gpu_sim::DeviceMem,
+            _dg: &DeviceGraph,
+        ) -> Result<tc_algos::api::TcOutput, SimError> {
+            let scratch = mem.alloc_uninit(64, "scratch")?;
+            let sums = mem.alloc_zeroed(1, "sums")?;
+            let stats = dev.launch(mem, gpu_sim::KernelConfig::new(1, 32), move |blk| {
+                blk.phase(move |lane| {
+                    // Missing init pass: `scratch` is still garbage here.
+                    let v = lane.ld_global(scratch, lane.tid() as usize);
+                    lane.atomic_add_global(sums, 0, v);
+                });
+            })?;
+            mem.free(scratch)?;
+            mem.free(sums)?;
+            Ok(tc_algos::api::TcOutput {
+                triangles: 0,
+                stats,
+            })
+        }
+    }
+
+    #[test]
+    fn sanitizer_report_surfaces_as_failed_cell_and_csv_row() {
+        // On a sanitizer-forced device the sweep must isolate the buggy
+        // cell as Failed(Sanitizer) with the kind intact, and the CSV
+        // row must carry the diagnostic — while every registered
+        // algorithm still verifies on the same device.
+        let dev = Device::v100().with_sanitizer();
+        let mut algos = all_algorithms();
+        algos.push(Box::new(UninitAlgo));
+        let data = PreparedDataset::prepare(&tiny_spec());
+        let records: Vec<RunRecord> = algos
+            .iter()
+            .map(|a| run_on_dataset(&dev, a.as_ref(), &data))
+            .collect();
+        let buggy = records.last().unwrap();
+        match &buggy.outcome {
+            RunOutcome::Failed(SimError::Sanitizer { kind, buffer, .. }) => {
+                assert_eq!(*kind, gpu_sim::SanitizerKind::UninitRead);
+                assert_eq!(buffer, "scratch");
+            }
+            other => panic!("expected Failed(Sanitizer), got {other:?}"),
+        }
+        assert!(
+            records[..records.len() - 1].iter().all(|r| r.is_verified()),
+            "the registered algorithms must verify under SimSan"
+        );
+        let mut out = Vec::new();
+        crate::framework::csv::write_records(&mut out, &records).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let row = text.lines().last().unwrap();
+        assert!(row.starts_with("uninit-probe,"), "row: {row}");
+        assert!(
+            row.contains("\"failed: sanitizer: uninit-read"),
+            "row: {row}"
+        );
+    }
+
     #[test]
     fn data_race_surfaces_as_failed_cell_and_csv_row() {
         // On a race-forced device the sweep must isolate the racy cell as

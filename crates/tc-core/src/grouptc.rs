@@ -123,7 +123,7 @@ impl TcAlgorithm for GroupTc {
         let counter = mem.alloc_zeroed(1, "grouptc.counter")?;
         let stats = run_chunked(dev, mem, g, self.config, None, counter)?;
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
 }

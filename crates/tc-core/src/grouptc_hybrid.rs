@@ -113,16 +113,16 @@ impl TcAlgorithm for GroupTcHybrid {
                     Some((ids, light.len() as u32)),
                     counter,
                 )?;
-                mem.free(ids);
+                mem.free(ids)?;
             }
         }
         if !heavy.is_empty() {
             let ids = mem.alloc_from_slice(&heavy, "grouptc_h.heavy_ids")?;
             stats += hash_pass(dev, mem, g, self.config, ids, heavy.len() as u32, counter)?;
-            mem.free(ids);
+            mem.free(ids)?;
         }
         let triangles = mem.read_back(counter)[0] as u64;
-        mem.free(counter);
+        mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
 }

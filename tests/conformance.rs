@@ -3,7 +3,7 @@
 //! automatically — must agree with the CPU reference on every generator
 //! family and satisfy the metamorphic invariants (orientation and
 //! vertex-relabeling invariance), all with the simulator's data-race
-//! detector forced on.
+//! detector and SimSan forced on, and an end-of-run leak check per run.
 //!
 //! A failure anywhere in here panics with a paste-able generator
 //! one-liner (e.g. `let edges = gen::rmat(9, 3000, 0.57, 0.19, 0.19,
@@ -29,6 +29,12 @@ fn every_registered_algorithm_passes_differential_and_metamorphic_checks() {
             r.stats.race_checks > 0,
             "{}: race detector never engaged — the suite is not actually \
              checking for races",
+            r.algorithm
+        );
+        assert!(
+            r.stats.sanitizer_checks > 0,
+            "{}: SimSan never engaged — the suite is not actually \
+             checking memory state",
             r.algorithm
         );
     }
