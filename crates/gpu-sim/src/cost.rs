@@ -62,6 +62,42 @@ impl CostModel {
         }
     }
 
+    /// RTX 4090 (Ada)-flavoured costs, scaled off [`CostModel::v100`]
+    /// with the same single-clock-domain convention (kernel time is
+    /// reported by `cycles_to_ms` at the V100 reference clock, so the
+    /// higher boost clock of Ada is folded into cheaper slots here):
+    ///
+    /// * ALU and shared memory are markedly cheaper — Ada's ~2.5 GHz
+    ///   boost clock and 128 KB unified L1/shared per SM cut both the
+    ///   visible ALU latency and the shared round-trip roughly in half
+    ///   relative to the 1.38 GHz reference clock.
+    /// * L1 hits are cheaper and divergent wavefronts drain faster (the
+    ///   4090's L1 bandwidth per SM is about twice Volta's).
+    /// * DRAM round-trip latency in reference cycles stays V100-like
+    ///   (GDDR6X latency is no better than HBM2), but the *bandwidth*
+    ///   floor is looser: ~1 TB/s at the reference clock is ~24 sectors
+    ///   per cycle, and the 72 MB L2 absorbs enough re-reads that the
+    ///   effective sectors-per-cycle the floor sees is higher still; we
+    ///   use 28.
+    /// * Atomics benefit from the larger L2 slice count: cheaper base
+    ///   cost and milder same-address serialization.
+    pub const fn rtx4090() -> Self {
+        CostModel {
+            compute: 1,
+            global_hit: 18,
+            l1_wavefront: 1,
+            global_issue: 140,
+            global_sector: 12,
+            shared_access: 12,
+            shared_conflict: 4,
+            global_atomic: 80,
+            global_atomic_conflict: 24,
+            shared_atomic: 16,
+            shared_atomic_conflict: 6,
+            dram_sectors_per_cycle: 28,
+        }
+    }
+
     /// Cost of a global load slot addressing `total_sectors` distinct
     /// sectors of which `miss_sectors` went to DRAM: the L1 pipe
     /// serializes one wavefront per sector (even on hits), and any miss
@@ -150,5 +186,20 @@ mod tests {
     fn shared_cheaper_than_global_miss() {
         let m = CostModel::v100();
         assert!(m.shared_slot(1) < m.global_slot(1));
+    }
+
+    #[test]
+    fn rtx4090_is_a_distinct_faster_model() {
+        let v = CostModel::v100();
+        let a = CostModel::rtx4090();
+        assert_ne!(a, v);
+        // Ada: cheaper ALU/shared/L1, looser bandwidth floor...
+        assert!(a.compute < v.compute);
+        assert!(a.shared_slot(1) < v.shared_slot(1));
+        assert!(a.global_load_slot(4, 0) < v.global_load_slot(4, 0));
+        assert!(a.dram_sectors_per_cycle > v.dram_sectors_per_cycle);
+        assert!(a.global_atomic_slot(32) < v.global_atomic_slot(32));
+        // ...but no miracle on DRAM round-trip latency.
+        assert!(a.global_issue >= v.global_issue * 9 / 10);
     }
 }

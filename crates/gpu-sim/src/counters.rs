@@ -25,6 +25,13 @@ pub struct ProfileCounters {
     pub global_store_requests: u64,
     pub gst_transactions: u64,
     pub global_atomic_requests: u64,
+    /// Distinct 32-byte sectors touched by global atomics, per warp slot,
+    /// summed. Atomics resolve in L2 but still move their sectors over
+    /// DRAM, so this feeds the launch-level bandwidth floor alongside
+    /// `dram_load_sectors` and `gst_transactions`. (Counting *requests*
+    /// there, as before, undercounted scattered atomics 32x and
+    /// overcounted fully-colliding ones not at all.)
+    pub dram_atomic_sectors: u64,
     pub shared_load_requests: u64,
     pub shared_store_requests: u64,
     pub shared_atomic_requests: u64,
@@ -94,6 +101,7 @@ impl AddAssign for ProfileCounters {
         self.global_store_requests += rhs.global_store_requests;
         self.gst_transactions += rhs.gst_transactions;
         self.global_atomic_requests += rhs.global_atomic_requests;
+        self.dram_atomic_sectors += rhs.dram_atomic_sectors;
         self.shared_load_requests += rhs.shared_load_requests;
         self.shared_store_requests += rhs.shared_store_requests;
         self.shared_atomic_requests += rhs.shared_atomic_requests;
@@ -170,6 +178,7 @@ mod tests {
             global_store_requests: 3,
             gst_transactions: 4,
             global_atomic_requests: 5,
+            dram_atomic_sectors: 16,
             shared_load_requests: 6,
             shared_store_requests: 7,
             shared_atomic_requests: 8,
@@ -183,6 +192,7 @@ mod tests {
         };
         a += a;
         assert_eq!(a.global_load_requests, 2);
+        assert_eq!(a.dram_atomic_sectors, 32);
         assert_eq!(a.active_thread_slots, 22);
         assert_eq!(a.race_checks, 24);
         assert_eq!(a.races_detected, 26);

@@ -1,5 +1,5 @@
 use crate::counters::{LaunchStats, ProfileCounters};
-use crate::exec::{run_block, BlockCtx, KernelConfig};
+use crate::exec::{run_block, BlockCtx, BlockScratch, KernelConfig};
 use crate::mem::DeviceMem;
 use crate::schedule::schedule_blocks;
 use crate::{CostModel, SimError};
@@ -55,7 +55,9 @@ impl DeviceConfig {
         }
     }
 
-    /// An RTX 4090 stand-in (144 SMs, 128 KB shared, 24 GB scaled).
+    /// An RTX 4090 stand-in (144 SMs, 128 KB shared, 24 GB scaled), with
+    /// the Ada-flavoured [`CostModel::rtx4090`] — see that constructor
+    /// for the calibration rationale.
     pub fn rtx4090() -> Self {
         DeviceConfig {
             num_sms: 144,
@@ -66,7 +68,7 @@ impl DeviceConfig {
             global_mem_words: 24 * 1024 * 1024,
             force_race_detection: false,
             force_sanitizer: false,
-            cost: CostModel::v100(),
+            cost: CostModel::rtx4090(),
         }
     }
 }
@@ -169,10 +171,14 @@ impl Device {
             });
         }
 
-        // Each block runs independently; fold per-rayon-job partial stats.
+        // Each block runs independently; each rayon worker carries one
+        // BlockScratch arena across every block it simulates, so the
+        // steady-state replay loop allocates nothing.
         let results: Result<Vec<(u64, ProfileCounters)>, SimError> = (0..cfg.grid_dim)
             .into_par_iter()
-            .map(|block_idx| run_block(self, mem, &cfg, block_idx, &kernel))
+            .map_init(BlockScratch::default, |scratch, block_idx| {
+                run_block(self, mem, &cfg, block_idx, &kernel, scratch)
+            })
             .collect();
         let per_block = results?;
 
@@ -187,11 +193,13 @@ impl Device {
         let compute_cycles = schedule_blocks(&cycles, parallel_slots);
         // Triangle counting is memory-bound: the kernel can never finish
         // faster than DRAM can deliver its sector traffic, however much
-        // SM-level parallelism hides latency.
-        let total_sectors = counters.dram_load_sectors
-            + counters.gst_transactions
-            + counters.global_atomic_requests;
-        let bandwidth_cycles = total_sectors / self.config.cost.dram_sectors_per_cycle.max(1);
+        // SM-level parallelism hides latency. Atomic traffic enters as
+        // *sectors* (scattered atomics move a sector per lane), and a
+        // partial trailing sector still occupies a full delivery cycle.
+        let total_sectors =
+            counters.dram_load_sectors + counters.gst_transactions + counters.dram_atomic_sectors;
+        let bandwidth_cycles =
+            total_sectors.div_ceil(self.config.cost.dram_sectors_per_cycle.max(1));
         let kernel_cycles = compute_cycles.max(bandwidth_cycles);
         Ok(LaunchStats {
             kernel_cycles,
@@ -279,6 +287,93 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SimError::MemoryFault { .. }));
         assert_eq!(mem.read_back(buf), vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn scattered_atomics_hit_the_bandwidth_floor_by_sectors() {
+        // 2048 blocks fit in one V100 wave (80 SMs x 32 resident), so
+        // compute_cycles is one block's worth while atomic DRAM traffic
+        // scales with the grid — the bandwidth floor binds.
+        let dev = Device::v100();
+        let mut mem = DeviceMem::new(&dev);
+        let grid = 2048u32;
+        let buf = mem.alloc_zeroed(grid as usize * 32 * 8, "targets").unwrap();
+        // Scattered: every lane atomics its own 32-byte sector.
+        let scattered = dev
+            .launch(&mem, KernelConfig::new(grid, 32), |blk| {
+                blk.phase(|lane| {
+                    let idx = lane.global_tid() as usize * 8;
+                    lane.atomic_add_global(buf, idx, 1);
+                });
+            })
+            .unwrap();
+        // Same-sector: all 32 lanes of a block hammer one word.
+        let same = dev
+            .launch(&mem, KernelConfig::new(grid, 32), |blk| {
+                blk.phase(|lane| {
+                    let idx = lane.block_idx() as usize * 8;
+                    lane.atomic_add_global(buf, idx, 1);
+                });
+            })
+            .unwrap();
+        // One warp-slot each way, but 32x the DRAM sector traffic when
+        // scattered. Counting *requests* in the floor (the old bug) saw
+        // both launches as identical traffic.
+        assert_eq!(scattered.counters.global_atomic_requests, grid as u64);
+        assert_eq!(same.counters.global_atomic_requests, grid as u64);
+        assert_eq!(scattered.counters.dram_atomic_sectors, grid as u64 * 32);
+        assert_eq!(same.counters.dram_atomic_sectors, grid as u64);
+        // Scattered is floor-bound at exactly ceil(sectors / 20): 65536
+        // sectors -> 3277 cycles (truncation would say 3276).
+        let d = dev.config().cost.dram_sectors_per_cycle;
+        assert_eq!(
+            scattered.kernel_cycles,
+            (grid as u64 * 32).div_ceil(d),
+            "bandwidth floor must bind for scattered atomics"
+        );
+        // Same-sector is compute-bound on its 32-deep collisions.
+        assert!(same.kernel_cycles > same.counters.dram_atomic_sectors.div_ceil(d));
+    }
+
+    #[test]
+    fn bandwidth_cycles_round_up_partial_sectors() {
+        // Zero out every latency cost so the bandwidth floor is the only
+        // term left; a 4-sector load then takes ceil(4/20) = 1 cycle.
+        // The old truncating division modelled a free kernel.
+        let mut cfg = DeviceConfig::v100();
+        cfg.cost = CostModel {
+            compute: 0,
+            global_hit: 0,
+            l1_wavefront: 0,
+            global_issue: 0,
+            global_sector: 0,
+            shared_access: 0,
+            shared_conflict: 0,
+            global_atomic: 0,
+            global_atomic_conflict: 0,
+            shared_atomic: 0,
+            shared_atomic_conflict: 0,
+            dram_sectors_per_cycle: 20,
+        };
+        let dev = Device::new(cfg);
+        let mut mem = DeviceMem::new(&dev);
+        let buf = mem.alloc_zeroed(32, "v").unwrap();
+        let stats = dev
+            .launch(&mem, KernelConfig::new(1, 32), |blk| {
+                blk.phase(|lane| {
+                    lane.ld_global(buf, lane.tid() as usize);
+                });
+            })
+            .unwrap();
+        assert_eq!(stats.counters.dram_load_sectors, 4);
+        assert_eq!(stats.kernel_cycles, 1);
+    }
+
+    #[test]
+    fn rtx4090_uses_its_own_cost_model() {
+        let dev = Device::rtx4090();
+        assert_eq!(dev.config().cost, CostModel::rtx4090());
+        assert_ne!(dev.config().cost, CostModel::v100());
     }
 
     #[test]

@@ -3,7 +3,7 @@ use crate::device::Device;
 use crate::mem::{BufId, DeviceMem};
 use crate::race::{Access, RaceTracker};
 use crate::sanitize::{SanTracker, ShadowAccess};
-use crate::trace::{LaneTrace, Op};
+use crate::trace::{LaneTrace, Op, PackedOp};
 use crate::{CostModel, SimError, SHARED_BANKS, WARP_SIZE};
 
 /// Launch geometry: `grid_dim` blocks of `block_dim` threads, each block
@@ -56,20 +56,60 @@ impl KernelConfig {
     }
 }
 
+/// `blockIdx.x * blockDim.x + threadIdx.x`, widened to `u64` *before* the
+/// multiply. Launches of more than `u32::MAX / block_dim` blocks are
+/// legal (CUDA grids go to 2^31-1 blocks), and edge-per-thread kernels on
+/// billion-edge graphs index with exactly this product — in `u32` it
+/// wraps and silently aliases distant threads onto the same edges.
+#[inline]
+pub fn global_thread_id(block_idx: u32, block_dim: u32, tid: u32) -> u64 {
+    block_idx as u64 * block_dim as u64 + tid as u64
+}
+
+/// Reusable per-worker arena for block execution. One `BlockScratch`
+/// lives per rayon worker (via `map_init`) and is recycled across every
+/// block that worker simulates, so the steady-state replay loop performs
+/// no heap allocation: lane traces keep their `Vec<Op>` capacity, and the
+/// shared/L1/cursor buffers are `clear()`+`resize()`d in place.
+#[derive(Default)]
+pub struct BlockScratch {
+    shared: Vec<u32>,
+    traces: Vec<LaneTrace>,
+    l1: Vec<u64>,
+    replay: ReplayScratch,
+}
+
+impl BlockScratch {
+    fn reset(&mut self, shared_words: usize, block_dim: usize, l1_len: usize) {
+        self.shared.clear();
+        self.shared.resize(shared_words, 0);
+        // Keep the per-lane op buffers (the hot allocation) alive across
+        // blocks; only their lengths reset.
+        self.traces.truncate(block_dim);
+        for t in &mut self.traces {
+            t.clear();
+        }
+        self.traces.resize_with(block_dim, LaneTrace::default);
+        self.l1.clear();
+        self.l1.resize(l1_len, u64::MAX);
+    }
+}
+
 /// Per-block execution context handed to the kernel closure.
 ///
 /// A kernel structures its work as a sequence of [`BlockCtx::phase`]
 /// calls; each phase runs every lane of the block to completion (in lane
 /// order) and ends with an implicit block-wide barrier, after which the
-/// lane traces are replayed warp-by-warp for profiling and timing.
+/// lane traces are replayed warp-by-warp for profiling and timing. All
+/// growable state lives in the borrowed [`BlockScratch`] arena.
 pub struct BlockCtx<'a> {
     mem: &'a DeviceMem,
     cost: CostModel,
     block_idx: u32,
     block_dim: u32,
     grid_dim: u32,
-    shared: Vec<u32>,
-    traces: Vec<LaneTrace>,
+    shared: &'a mut Vec<u32>,
+    traces: &'a mut Vec<LaneTrace>,
     /// Phase-based data-race detector (`Some` when the launch enabled
     /// detection): records this block's shared and plain-global accesses
     /// between barriers and poisons the block on a cross-lane conflict.
@@ -84,8 +124,9 @@ pub struct BlockCtx<'a> {
     /// the slice small enough that many concurrent per-lane streams
     /// conflict, as they do in the real 128 KB/SM cache shared by 2048
     /// threads.
-    l1: Vec<u64>,
+    l1: &'a mut Vec<u64>,
     l1_slice: usize,
+    replay: &'a mut ReplayScratch,
     counters: ProfileCounters,
     cycles: u64,
     fault: Option<SimError>,
@@ -130,7 +171,7 @@ impl<'a> BlockCtx<'a> {
             let warp = (tid as usize / WARP_SIZE) * self.l1_slice;
             let mut lane = LaneCtx {
                 mem: self.mem,
-                shared: &mut self.shared,
+                shared: self.shared,
                 trace: &mut self.traces[tid as usize],
                 race: &mut self.race,
                 san: &mut self.san,
@@ -141,8 +182,10 @@ impl<'a> BlockCtx<'a> {
                 block_dim: self.block_dim,
                 grid_dim: self.grid_dim,
                 fault: &mut self.fault,
+                pending_compute: 0,
             };
             f(&mut lane);
+            lane.flush_compute();
         }
         self.barrier();
     }
@@ -157,14 +200,14 @@ impl<'a> BlockCtx<'a> {
         }
         let mut phase_cycles = 0u64;
         for warp in self.traces.chunks(WARP_SIZE) {
-            let (cycles, counters) = replay_warp(warp, &self.cost);
+            let (cycles, counters) = replay_warp(warp, &self.cost, self.replay);
             // Warps of a block run concurrently; the barrier waits for
             // the slowest one.
             phase_cycles = phase_cycles.max(cycles);
             self.counters += counters;
         }
         self.cycles += phase_cycles;
-        for t in &mut self.traces {
+        for t in self.traces.iter_mut() {
             t.clear();
         }
     }
@@ -186,6 +229,13 @@ pub struct LaneCtx<'a, 'b> {
     block_dim: u32,
     grid_dim: u32,
     fault: &'b mut Option<SimError>,
+    /// Arithmetic instructions recorded since the last non-compute op:
+    /// [`LaneCtx::compute`] only bumps this counter, and the run is
+    /// flushed into the trace as one `Op::Compute` word when the next
+    /// memory op / converge marker / end of the lane's phase needs the
+    /// ordering — the inner-loop `compute(1)` call is then a register
+    /// add instead of a trace access.
+    pending_compute: u32,
 }
 
 impl LaneCtx<'_, '_> {
@@ -213,10 +263,11 @@ impl LaneCtx<'_, '_> {
         self.grid_dim
     }
 
-    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`), as a
+    /// `u64`: see [`global_thread_id`] for why the product must widen.
     #[inline]
-    pub fn global_tid(&self) -> u32 {
-        self.block_idx * self.block_dim + self.tid
+    pub fn global_tid(&self) -> u64 {
+        global_thread_id(self.block_idx, self.block_dim, self.tid)
     }
 
     /// Lane index within the warp.
@@ -324,10 +375,21 @@ impl LaneCtx<'_, '_> {
     }
 
     /// Record `n` arithmetic instructions (comparisons, address math...).
+    /// Run-length encoded: adjacent calls merge into one trace word (see
+    /// [`LaneTrace::push_compute`] and [`LaneCtx::pending_compute`]).
     #[inline]
     pub fn compute(&mut self, n: u32) {
-        for _ in 0..n {
-            self.trace.push(Op::Compute);
+        self.pending_compute += n;
+    }
+
+    /// Flush the pending compute run into the trace. Must run before any
+    /// other op is recorded (and at the end of the lane's phase) so the
+    /// trace keeps the true program order.
+    #[inline]
+    fn flush_compute(&mut self) {
+        if self.pending_compute > 0 {
+            self.trace.push_compute(self.pending_compute);
+            self.pending_compute = 0;
         }
     }
 
@@ -337,6 +399,7 @@ impl LaneCtx<'_, '_> {
     /// the replay re-aligns the lanes like real SIMT hardware does.
     #[inline]
     pub fn converge(&mut self) {
+        self.flush_compute();
         self.trace.push(Op::Converge);
     }
 
@@ -345,6 +408,7 @@ impl LaneCtx<'_, '_> {
     /// transaction), modelling the spatial locality of sequential scans.
     #[inline]
     pub fn ld_global(&mut self, buf: BufId, idx: usize) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -352,14 +416,13 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
-        let val = match self.mem.try_load(buf, idx) {
-            Ok(v) => v,
+        let (val, addr) = match self.mem.try_load_addr(buf, idx) {
+            Ok(pair) => pair,
             Err(e) => {
                 self.set_fault(e);
                 return 0;
             }
         };
-        let addr = self.mem.addr_of(buf, idx);
         let sector = addr / crate::SECTOR_BYTES;
         let slot = (sector & self.l1_mask) as usize;
         if self.l1[slot] == sector {
@@ -378,6 +441,7 @@ impl LaneCtx<'_, '_> {
     /// Store one word to global memory.
     #[inline]
     pub fn st_global(&mut self, buf: BufId, idx: usize, val: u32) {
+        self.flush_compute();
         if self.poisoned() {
             return;
         }
@@ -411,6 +475,7 @@ impl LaneCtx<'_, '_> {
     /// `atomicAdd` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_add_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -433,6 +498,7 @@ impl LaneCtx<'_, '_> {
     /// `atomicOr` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_or_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -455,6 +521,7 @@ impl LaneCtx<'_, '_> {
     /// `atomicAnd` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_and_global(&mut self, buf: BufId, idx: usize, val: u32) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -477,6 +544,7 @@ impl LaneCtx<'_, '_> {
     /// `atomicCAS` on global memory; returns the previous value.
     #[inline]
     pub fn atomic_cas_global(&mut self, buf: BufId, idx: usize, cur: u32, new: u32) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -532,6 +600,7 @@ impl LaneCtx<'_, '_> {
     /// zero-fills shared memory for determinism, but CUDA does not.
     #[inline]
     pub fn ld_shared(&mut self, idx: usize) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -547,6 +616,7 @@ impl LaneCtx<'_, '_> {
     /// Store one word to shared memory.
     #[inline]
     pub fn st_shared(&mut self, idx: usize, val: u32) {
+        self.flush_compute();
         if self.poisoned() {
             return;
         }
@@ -568,6 +638,7 @@ impl LaneCtx<'_, '_> {
     /// `atomicAdd` on shared memory; returns the previous value.
     #[inline]
     pub fn atomic_add_shared(&mut self, idx: usize, val: u32) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -586,6 +657,7 @@ impl LaneCtx<'_, '_> {
     /// `atomicOr` on shared memory; returns the previous value.
     #[inline]
     pub fn atomic_or_shared(&mut self, idx: usize, val: u32) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -604,6 +676,7 @@ impl LaneCtx<'_, '_> {
     /// `atomicAnd` on shared memory; returns the previous value.
     #[inline]
     pub fn atomic_and_shared(&mut self, idx: usize, val: u32) -> u32 {
+        self.flush_compute();
         if self.poisoned() {
             return 0;
         }
@@ -620,13 +693,16 @@ impl LaneCtx<'_, '_> {
     }
 }
 
-/// Execute one block and return its (cycles, counters).
+/// Execute one block and return its (cycles, counters). The caller owns
+/// the [`BlockScratch`] arena (one per rayon worker) so consecutive
+/// blocks reuse every buffer.
 pub(crate) fn run_block<F>(
     dev: &Device,
     mem: &DeviceMem,
     cfg: &KernelConfig,
     block_idx: u32,
     kernel: &F,
+    scratch: &mut BlockScratch,
 ) -> Result<(u64, ProfileCounters), SimError>
 where
     F: Fn(&mut BlockCtx<'_>) + Sync,
@@ -638,20 +714,32 @@ where
         .max(16)
         .next_power_of_two() as usize;
     let warps = (cfg.block_dim as usize).div_ceil(WARP_SIZE);
+    scratch.reset(
+        cfg.shared_words as usize,
+        cfg.block_dim as usize,
+        warps * l1_slice,
+    );
+    let BlockScratch {
+        shared,
+        traces,
+        l1,
+        replay,
+    } = scratch;
     let mut blk = BlockCtx {
         mem,
         cost: dev.config().cost,
         block_idx,
         block_dim: cfg.block_dim,
         grid_dim: cfg.grid_dim,
-        shared: vec![0u32; cfg.shared_words as usize],
-        traces: vec![LaneTrace::default(); cfg.block_dim as usize],
+        shared,
+        traces,
         race: (cfg.race_detect || dev.config().force_race_detection)
             .then(|| RaceTracker::new(cfg.shared_words as usize)),
         san: (cfg.sanitize || dev.config().force_sanitizer)
             .then(|| SanTracker::new(cfg.shared_words as usize)),
-        l1: vec![u64::MAX; warps * l1_slice],
+        l1,
         l1_slice,
+        replay,
         counters: ProfileCounters::default(),
         cycles: 0,
         fault: None,
@@ -673,19 +761,98 @@ where
     Ok((blk.cycles, blk.counters))
 }
 
+/// A warp holds at most [`WARP_SIZE`] lanes and each lane contributes at
+/// most one address per step, so per-kind address lists fit in fixed
+/// stack arrays — no heap, no sorting, and the O(n²) dedup scans below
+/// stay on 32-entry arrays that live in cache (and usually registers).
+struct LaneAddrs64 {
+    buf: [u64; WARP_SIZE],
+    len: usize,
+}
+
+impl Default for LaneAddrs64 {
+    fn default() -> Self {
+        LaneAddrs64 {
+            buf: [0; WARP_SIZE],
+            len: 0,
+        }
+    }
+}
+
+impl LaneAddrs64 {
+    #[inline]
+    fn push(&mut self, a: u64) {
+        debug_assert!(self.len < WARP_SIZE);
+        self.buf[self.len] = a;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len]
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+struct LaneAddrs32 {
+    buf: [u32; WARP_SIZE],
+    len: usize,
+}
+
+impl Default for LaneAddrs32 {
+    fn default() -> Self {
+        LaneAddrs32 {
+            buf: [0; WARP_SIZE],
+            len: 0,
+        }
+    }
+}
+
+impl LaneAddrs32 {
+    #[inline]
+    fn push(&mut self, a: u32) {
+        debug_assert!(self.len < WARP_SIZE);
+        self.buf[self.len] = a;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len]
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
 /// Scratch for one lockstep step of one warp.
 #[derive(Default)]
 struct StepScratch {
     /// Global-load misses (addresses that cost DRAM sectors).
-    gload: Vec<u64>,
+    gload: LaneAddrs64,
     /// Global-load L1 hits (wavefronts in the request, no DRAM traffic).
-    gload_hits: Vec<u64>,
-    gstore: Vec<u64>,
-    gatomic: Vec<u64>,
-    sload: Vec<u32>,
-    sstore: Vec<u32>,
-    satomic: Vec<u32>,
-    compute: u32,
+    gload_hits: LaneAddrs64,
+    gstore: LaneAddrs64,
+    gatomic: LaneAddrs64,
+    sload: LaneAddrs32,
+    sstore: LaneAddrs32,
+    satomic: LaneAddrs32,
 }
 
 impl StepScratch {
@@ -697,57 +864,100 @@ impl StepScratch {
         self.sload.clear();
         self.sstore.clear();
         self.satomic.clear();
-        self.compute = 0;
     }
+}
+
+/// Replay position of one live lane, carried *inline* in the compacted
+/// lane array so the gather loop touches one cache line per lane instead
+/// of bouncing between a live-index list, a cursor table and the trace
+/// table. `ops` borrows the lane's recorded trace for the duration of one
+/// [`replay_warp`] call.
+#[derive(Clone, Copy, Default)]
+struct LaneState<'a> {
+    /// The lane's recorded ops (never empty while the state is live).
+    ops: &'a [PackedOp],
+    /// Next op to replay.
+    idx: u32,
+    /// Consumed prefix of the compute run at `idx`, when that op is
+    /// `Op::Compute(n)`.
+    run_done: u32,
+    /// Original lane number (compaction reorders the array).
+    lane: u32,
+}
+
+/// Reusable state for [`replay_warp`]; lives in the per-worker
+/// [`BlockScratch`] so replay performs no allocation.
+#[derive(Default)]
+pub(crate) struct ReplayScratch {
+    step: StepScratch,
 }
 
 /// Count distinct 32-byte sectors among the (word) addresses of one warp
-/// load/store slot.
-fn count_sectors(addrs: &mut [u64]) -> u64 {
-    addrs.sort_unstable();
-    let mut sectors = 0u64;
-    let mut last = u64::MAX;
-    for &a in addrs.iter() {
-        let s = a / crate::SECTOR_BYTES;
-        if s != last {
-            sectors += 1;
-            last = s;
+/// load/store slot. ≤ 32 addresses, so a linear seen-scan beats sorting.
+fn count_sectors(addrs: &[u64]) -> u64 {
+    count_sectors_split(addrs, &[]).1
+}
+
+/// Seen-scan over the miss and hit halves of one load slot, without
+/// materializing the union: returns `(miss_sectors, total_sectors)` —
+/// distinct sectors among `misses` alone, then distinct sectors across
+/// the concatenation — in a single pass. The scan runs newest-first
+/// because coalesced warps revisit the sector they just recorded.
+fn count_sectors_split(misses: &[u64], hits: &[u64]) -> (u64, u64) {
+    debug_assert!(misses.len() + hits.len() <= WARP_SIZE);
+    let mut seen = [0u64; WARP_SIZE];
+    let mut n = 0usize;
+    'miss: for &addr in misses {
+        let s = addr / crate::SECTOR_BYTES;
+        for &prev in seen[..n].iter().rev() {
+            if prev == s {
+                continue 'miss;
+            }
         }
+        seen[n] = s;
+        n += 1;
     }
-    sectors
+    let miss_sectors = n as u64;
+    'hit: for &addr in hits {
+        let s = addr / crate::SECTOR_BYTES;
+        for &prev in seen[..n].iter().rev() {
+            if prev == s {
+                continue 'hit;
+            }
+        }
+        seen[n] = s;
+        n += 1;
+    }
+    (miss_sectors, n as u64)
 }
 
 /// Worst-case same-address collision depth (atomics serialize on address).
-fn max_same_addr_depth<T: Ord + Copy>(addrs: &mut [T]) -> u64 {
-    addrs.sort_unstable();
+fn max_same_addr_depth<T: PartialEq + Copy>(addrs: &[T]) -> u64 {
     let mut best = 0u64;
-    let mut run = 0u64;
-    let mut last: Option<T> = None;
-    for &a in addrs.iter() {
-        if Some(a) == last {
-            run += 1;
-        } else {
-            run = 1;
-            last = Some(a);
+    for (i, &a) in addrs.iter().enumerate() {
+        if addrs[..i].contains(&a) {
+            continue; // depth already counted at its first occurrence
         }
-        best = best.max(run);
+        let depth = addrs[i..].iter().filter(|&&x| x == a).count() as u64;
+        best = best.max(depth);
     }
     best
 }
 
 /// Shared-memory bank-conflict ways: accesses to the same word broadcast,
 /// accesses to distinct words in the same bank serialize.
-fn bank_conflict_ways(addrs: &mut [u32]) -> u64 {
-    addrs.sort_unstable();
-    let mut per_bank = [0u64; SHARED_BANKS];
-    let mut last = u32::MAX;
-    for &a in addrs.iter() {
-        if a != last {
-            per_bank[(a as usize) % SHARED_BANKS] += 1;
-            last = a;
+fn bank_conflict_ways(addrs: &[u32]) -> u64 {
+    let mut per_bank = [0u8; SHARED_BANKS];
+    let mut ways = 1u64;
+    for (i, &a) in addrs.iter().enumerate() {
+        if addrs[..i].contains(&a) {
+            continue; // duplicate word: broadcast, not a conflict
         }
+        let bank = (a as usize) % SHARED_BANKS;
+        per_bank[bank] += 1;
+        ways = ways.max(per_bank[bank] as u64);
     }
-    per_bank.iter().copied().max().unwrap_or(0).max(1)
+    ways
 }
 
 /// Replay the lanes of one warp in lockstep and return (cycles, counters).
@@ -758,57 +968,134 @@ fn bank_conflict_ways(addrs: &mut [u32]) -> u64 {
 /// already ended count as inactive, which is what depresses
 /// `warp_execution_efficiency` for imbalanced workloads.
 ///
+/// Compute runs (`Op::Compute(n)`) are consumed in batches: when a step
+/// issues *only* compute, every active lane is inside a run, and the set
+/// of active lanes cannot change for the next `m = min(remaining run)`
+/// steps — exhausted lanes stay exhausted and converge-marked lanes keep
+/// waiting (compute is a real issue). So `m` identical one-instruction
+/// steps collapse into one batch with counters scaled by `m`,
+/// bit-identical to stepping. When the step also issues memory, the
+/// active compute set can change next step, so `m = 1`.
+///
 /// [`Op::Converge`] markers re-align the lanes: a lane that reaches one
 /// stalls (inactive) until every unfinished lane is also at a marker,
 /// then all markers are consumed together — the branch re-join of real
 /// SIMT hardware, without which lanes that skip a data-dependent inner
 /// loop would stay shifted against their siblings forever.
-fn replay_warp(traces: &[LaneTrace], cost: &CostModel) -> (u64, ProfileCounters) {
+fn replay_warp(
+    traces: &[LaneTrace],
+    cost: &CostModel,
+    scratch: &mut ReplayScratch,
+) -> (u64, ProfileCounters) {
     let mut counters = ProfileCounters::default();
     let mut cycles = 0u64;
-    if traces.iter().all(LaneTrace::is_empty) {
+    let step = &mut scratch.step;
+    // Live lanes, compacted in place: an exhausted lane swaps with the
+    // last live entry and drops out, so a tail-divergent warp — one long
+    // merge while 31 lanes sit finished, the common shape in triangle
+    // counting — costs one lane visit per step, not 32. Compaction
+    // reorders lane visits, which is safe: every per-slot pass (distinct
+    // sectors, bank ways, same-address depth, lane counts) is
+    // order-independent.
+    let mut lanes: [LaneState<'_>; WARP_SIZE] = [LaneState::default(); WARP_SIZE];
+    let mut n_live = 0usize;
+    for (lane, t) in traces.iter().enumerate() {
+        if !t.is_empty() {
+            lanes[n_live] = LaneState {
+                ops: &t.ops,
+                idx: 0,
+                run_done: 0,
+                lane: lane as u32,
+            };
+            n_live += 1;
+        }
+    }
+    if n_live == 0 {
         return (0, counters);
     }
-    let mut cursors = vec![0usize; traces.len()];
-    let mut scratch = StepScratch::default();
+    // Lanes stalled at a `Converge` marker are *parked* past `n_active`
+    // (the array is split `[active.. | parked.. | dead]`), so a warp
+    // whose 31 finished-early lanes wait out one long merge scans a
+    // single lane per step instead of re-matching 32 marker heads — on
+    // the full Wiki-Talk sweep roughly a sixth of all lane visits were
+    // such re-matched waiters.
+    let mut n_active = n_live;
     loop {
-        scratch.clear();
-        let mut converge_waiting = false;
-        for (lane, t) in traces.iter().enumerate() {
-            if let Some(&op) = t.ops.get(cursors[lane]) {
-                match op {
-                    Op::Converge => converge_waiting = true,
-                    Op::GLoad(a) => scratch.gload.push(a),
-                    Op::GLoadHit(a) => scratch.gload_hits.push(a),
-                    Op::GStore(a) => scratch.gstore.push(a),
-                    Op::GAtomic(a) => scratch.gatomic.push(a),
-                    Op::SLoad(a) => scratch.sload.push(a),
-                    Op::SStore(a) => scratch.sstore.push(a),
-                    Op::SAtomic(a) => scratch.satomic.push(a),
-                    Op::Compute => scratch.compute += 1,
+        step.clear();
+        let mut compute_lanes = 0u64;
+        // Which lanes were *at* a compute head during this gather pass.
+        // The consume pass below must not re-read heads: a lane whose
+        // memory op issued this step already advanced onto its next op,
+        // and consuming that op here would skip it without counting it.
+        let mut compute_mask = 0u32;
+        let mut min_run = u32::MAX;
+        let mut i = 0;
+        while i < n_active {
+            let st = &mut lanes[i];
+            // Live-array invariant: `st.idx` is in bounds.
+            let op = st.ops[st.idx as usize].unpack();
+            match op {
+                Op::Converge => {
+                    // Stalls until every active lane reaches a marker;
+                    // the cursor advances at re-align.
+                    n_active -= 1;
+                    lanes.swap(i, n_active);
+                    continue;
                 }
-                if !matches!(op, Op::Converge) {
-                    cursors[lane] += 1;
+                Op::Compute(n) => {
+                    debug_assert!(n > st.run_done, "Compute(n) invariant: n >= 1");
+                    compute_lanes += 1;
+                    compute_mask |= 1 << st.lane;
+                    min_run = min_run.min(n - st.run_done);
+                    i += 1; // cursor advances after batching below
+                    continue;
                 }
+                Op::GLoad(a) => step.gload.push(a),
+                Op::GLoadHit(a) => step.gload_hits.push(a),
+                Op::GStore(a) => step.gstore.push(a),
+                Op::GAtomic(a) => step.gatomic.push(a),
+                Op::SLoad(a) => step.sload.push(a),
+                Op::SStore(a) => step.sstore.push(a),
+                Op::SAtomic(a) => step.satomic.push(a),
+            }
+            st.idx += 1;
+            let exhausted = st.idx as usize == st.ops.len();
+            if exhausted {
+                // Retire: swap out of the active region, then out of the
+                // parked region, preserving both partitions.
+                n_active -= 1;
+                lanes.swap(i, n_active);
+                n_live -= 1;
+                lanes.swap(n_active, n_live);
+            } else {
+                i += 1;
             }
         }
-        let issued_real_op = !scratch.gload.is_empty()
-            || !scratch.gload_hits.is_empty()
-            || !scratch.gstore.is_empty()
-            || !scratch.gatomic.is_empty()
-            || !scratch.sload.is_empty()
-            || !scratch.sstore.is_empty()
-            || !scratch.satomic.is_empty()
-            || scratch.compute > 0;
-        if !issued_real_op {
-            if converge_waiting {
-                // Every unfinished lane sits at a marker: consume them
-                // all and re-align.
-                for (lane, t) in traces.iter().enumerate() {
-                    if matches!(t.ops.get(cursors[lane]), Some(Op::Converge)) {
-                        cursors[lane] += 1;
+        let memory_issued = !step.gload.is_empty()
+            || !step.gload_hits.is_empty()
+            || !step.gstore.is_empty()
+            || !step.gatomic.is_empty()
+            || !step.sload.is_empty()
+            || !step.sstore.is_empty()
+            || !step.satomic.is_empty();
+        if !memory_issued && compute_lanes == 0 {
+            if n_live > 0 {
+                // Every unfinished lane is parked at a marker: consume
+                // them all and re-align.
+                debug_assert_eq!(n_active, 0);
+                let mut i = 0;
+                while i < n_live {
+                    let st = &mut lanes[i];
+                    debug_assert!(matches!(st.ops[st.idx as usize].unpack(), Op::Converge));
+                    st.idx += 1;
+                    if st.idx as usize == st.ops.len() {
+                        n_live -= 1;
+                        lanes.swap(i, n_live);
+                    } else {
+                        i += 1;
                     }
                 }
+                n_active = n_live;
                 continue;
             }
             break; // all traces exhausted
@@ -817,60 +1104,90 @@ fn replay_warp(traces: &[LaneTrace], cost: &CostModel) -> (u64, ProfileCounters)
             counters.issued_slots += 1;
             counters.active_thread_slots += active;
         };
-        if !scratch.gload.is_empty() || !scratch.gload_hits.is_empty() {
-            issue((scratch.gload.len() + scratch.gload_hits.len()) as u64);
-            let miss_sectors = count_sectors(&mut scratch.gload);
+        if !step.gload.is_empty() || !step.gload_hits.is_empty() {
+            issue((step.gload.len + step.gload_hits.len) as u64);
             // nvprof's gld_transactions counts wavefronts (distinct
-            // sectors addressed) regardless of cache hits.
-            let mut all: Vec<u64> = scratch
-                .gload
-                .iter()
-                .chain(scratch.gload_hits.iter())
-                .copied()
-                .collect();
-            let total_sectors = count_sectors(&mut all);
+            // sectors addressed) regardless of cache hits; the DRAM floor
+            // charges only the miss half. One fused scan yields both.
+            let (miss_sectors, total_sectors) =
+                count_sectors_split(step.gload.as_slice(), step.gload_hits.as_slice());
             counters.global_load_requests += 1;
             counters.gld_transactions += total_sectors;
             counters.dram_load_sectors += miss_sectors;
             cycles += cost.global_load_slot(total_sectors, miss_sectors);
         }
-        if !scratch.gstore.is_empty() {
-            issue(scratch.gstore.len() as u64);
-            let sectors = count_sectors(&mut scratch.gstore);
+        if !step.gstore.is_empty() {
+            issue(step.gstore.len as u64);
+            let sectors = count_sectors(step.gstore.as_slice());
             counters.global_store_requests += 1;
             counters.gst_transactions += sectors;
             cycles += cost.global_slot(sectors);
         }
-        if !scratch.gatomic.is_empty() {
-            issue(scratch.gatomic.len() as u64);
-            let depth = max_same_addr_depth(&mut scratch.gatomic);
+        if !step.gatomic.is_empty() {
+            issue(step.gatomic.len as u64);
+            let depth = max_same_addr_depth(step.gatomic.as_slice());
             counters.global_atomic_requests += 1;
+            // Atomics are resolved in L2 but still move their sectors
+            // over DRAM; distinct 32-byte sectors feed the launch-level
+            // bandwidth floor alongside load and store traffic.
+            counters.dram_atomic_sectors += count_sectors(step.gatomic.as_slice());
             cycles += cost.global_atomic_slot(depth);
         }
-        if !scratch.sload.is_empty() {
-            issue(scratch.sload.len() as u64);
-            let ways = bank_conflict_ways(&mut scratch.sload);
+        if !step.sload.is_empty() {
+            issue(step.sload.len as u64);
+            let ways = bank_conflict_ways(step.sload.as_slice());
             counters.shared_load_requests += 1;
             cycles += cost.shared_slot(ways);
         }
-        if !scratch.sstore.is_empty() {
-            issue(scratch.sstore.len() as u64);
-            let ways = bank_conflict_ways(&mut scratch.sstore);
+        if !step.sstore.is_empty() {
+            issue(step.sstore.len as u64);
+            let ways = bank_conflict_ways(step.sstore.as_slice());
             counters.shared_store_requests += 1;
             cycles += cost.shared_slot(ways);
         }
-        if !scratch.satomic.is_empty() {
-            issue(scratch.satomic.len() as u64);
-            let depth = max_same_addr_depth(&mut scratch.satomic);
+        if !step.satomic.is_empty() {
+            issue(step.satomic.len as u64);
+            let depth = max_same_addr_depth(step.satomic.as_slice());
             counters.shared_atomic_requests += 1;
             cycles += cost.shared_atomic_slot(depth);
         }
-        if scratch.compute > 0 {
-            issue(scratch.compute as u64);
-            counters.compute_slots += 1;
-            cycles += cost.compute;
+        if compute_lanes > 0 {
+            let m = if memory_issued { 1 } else { min_run as u64 };
+            counters.issued_slots += m;
+            counters.active_thread_slots += m * compute_lanes;
+            counters.compute_slots += m;
+            cycles += m * cost.compute;
+            let m32 = m as u32;
+            let mut i = 0;
+            while i < n_active {
+                let st = &mut lanes[i];
+                if compute_mask & (1 << st.lane) == 0 {
+                    i += 1;
+                    continue;
+                }
+                let Op::Compute(n) = st.ops[st.idx as usize].unpack() else {
+                    unreachable!("compute_mask lane must still head a Compute run");
+                };
+                st.run_done += m32;
+                debug_assert!(st.run_done <= n);
+                if st.run_done == n {
+                    st.idx += 1;
+                    st.run_done = 0;
+                    let exhausted = st.idx as usize == st.ops.len();
+                    if exhausted {
+                        n_active -= 1;
+                        lanes.swap(i, n_active);
+                        n_live -= 1;
+                        lanes.swap(n_active, n_live);
+                        continue;
+                    }
+                }
+                i += 1;
+            }
         }
     }
+    // The loop only breaks when no lane has an op left to issue.
+    debug_assert_eq!(n_live, 0, "replay exited with unconsumed ops");
     (cycles, counters)
 }
 
@@ -880,41 +1197,69 @@ mod tests {
     use crate::trace::LaneTrace;
 
     fn trace_of(ops: &[Op]) -> LaneTrace {
-        LaneTrace { ops: ops.to_vec() }
+        LaneTrace::from_ops(ops)
+    }
+
+    fn replay(traces: &[LaneTrace]) -> (u64, ProfileCounters) {
+        replay_warp(traces, &CostModel::v100(), &mut ReplayScratch::default())
+    }
+
+    #[test]
+    fn global_thread_id_widens_before_multiplying() {
+        // 8M blocks of 1024 threads: the last global tid is ~2^33, far
+        // past u32. The u32 expression wrapped to a small alias.
+        let blocks = 8 * 1024 * 1024u32;
+        let tid = global_thread_id(blocks - 1, 1024, 1023);
+        assert_eq!(tid, (blocks as u64) * 1024 - 1);
+        assert!(tid > u32::MAX as u64);
+        // And the in-range case is unchanged.
+        assert_eq!(global_thread_id(3, 256, 17), 3 * 256 + 17);
     }
 
     #[test]
     fn sector_counting_coalesced_vs_scattered() {
         // 32 lanes reading consecutive words: 32 * 4B = 128B = 4 sectors.
-        let mut coalesced: Vec<u64> = (0..32u64).map(|i| i * 4).collect();
-        assert_eq!(count_sectors(&mut coalesced), 4);
+        let coalesced: Vec<u64> = (0..32u64).map(|i| i * 4).collect();
+        assert_eq!(count_sectors(&coalesced), 4);
         // 32 lanes each in its own sector.
-        let mut scattered: Vec<u64> = (0..32u64).map(|i| i * 4096).collect();
-        assert_eq!(count_sectors(&mut scattered), 32);
+        let scattered: Vec<u64> = (0..32u64).map(|i| i * 4096).collect();
+        assert_eq!(count_sectors(&scattered), 32);
         // All lanes on the same word: a single broadcastable sector.
-        let mut broadcast: Vec<u64> = vec![100; 32];
-        assert_eq!(count_sectors(&mut broadcast), 1);
+        let broadcast: Vec<u64> = vec![100; 32];
+        assert_eq!(count_sectors(&broadcast), 1);
+    }
+
+    #[test]
+    fn chained_sector_counting_matches_union() {
+        // Misses and hits overlapping in sector 0 plus a hit-only sector.
+        let misses = [0u64, 4, 64];
+        let hits = [8u64, 96, 100];
+        assert_eq!(count_sectors_split(&misses, &hits), (2, 3));
+        assert_eq!(count_sectors_split(&misses, &[]).1, count_sectors(&misses));
     }
 
     #[test]
     fn collision_depth() {
-        let mut a = vec![1u64, 2, 2, 2, 3];
-        assert_eq!(max_same_addr_depth(&mut a), 3);
-        let mut b = vec![5u64];
-        assert_eq!(max_same_addr_depth(&mut b), 1);
+        let a = [1u64, 2, 2, 2, 3];
+        assert_eq!(max_same_addr_depth(&a), 3);
+        let b = [5u64];
+        assert_eq!(max_same_addr_depth(&b), 1);
+        // Unsorted duplicates must still count as one run.
+        let c = [7u64, 1, 7, 2, 7];
+        assert_eq!(max_same_addr_depth(&c), 3);
     }
 
     #[test]
     fn bank_conflicts() {
         // Stride-1: each lane its own bank.
-        let mut s: Vec<u32> = (0..32).collect();
-        assert_eq!(bank_conflict_ways(&mut s), 1);
+        let s: Vec<u32> = (0..32).collect();
+        assert_eq!(bank_conflict_ways(&s), 1);
         // Stride-32: all lanes in bank 0 -> 32-way conflict.
-        let mut c: Vec<u32> = (0..32).map(|i| i * 32).collect();
-        assert_eq!(bank_conflict_ways(&mut c), 32);
+        let c: Vec<u32> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflict_ways(&c), 32);
         // Same word everywhere: broadcast, no conflict.
-        let mut b: Vec<u32> = vec![7; 32];
-        assert_eq!(bank_conflict_ways(&mut b), 1);
+        let b: Vec<u32> = vec![7; 32];
+        assert_eq!(bank_conflict_ways(&b), 1);
     }
 
     #[test]
@@ -922,11 +1267,8 @@ mod tests {
         let cost = CostModel::v100();
         // Lane 0 does 4 computes, lane 1 does 1: 4 slots, 5 active-thread
         // slots => efficiency 5/(4*32).
-        let traces = vec![
-            trace_of(&[Op::Compute, Op::Compute, Op::Compute, Op::Compute]),
-            trace_of(&[Op::Compute]),
-        ];
-        let (cycles, c) = replay_warp(&traces, &cost);
+        let traces = vec![trace_of(&[Op::Compute(4)]), trace_of(&[Op::Compute(1)])];
+        let (cycles, c) = replay(&traces);
         assert_eq!(c.issued_slots, 4);
         assert_eq!(c.active_thread_slots, 5);
         assert_eq!(c.compute_slots, 4);
@@ -935,10 +1277,9 @@ mod tests {
 
     #[test]
     fn replay_splits_divergent_kinds() {
-        let cost = CostModel::v100();
         // Two lanes at step 0 doing different kinds: two issue slots.
-        let traces = vec![trace_of(&[Op::Compute]), trace_of(&[Op::GLoad(0)])];
-        let (_, c) = replay_warp(&traces, &cost);
+        let traces = vec![trace_of(&[Op::Compute(1)]), trace_of(&[Op::GLoad(0)])];
+        let (_, c) = replay(&traces);
         assert_eq!(c.issued_slots, 2);
         assert_eq!(c.active_thread_slots, 2);
         assert_eq!(c.global_load_requests, 1);
@@ -951,7 +1292,7 @@ mod tests {
         // 8 lanes load 8 consecutive words (one sector): 1 request,
         // 1 transaction.
         let traces: Vec<LaneTrace> = (0..8u64).map(|i| trace_of(&[Op::GLoad(i * 4)])).collect();
-        let (cycles, c) = replay_warp(&traces, &cost);
+        let (cycles, c) = replay(&traces);
         assert_eq!(c.global_load_requests, 1);
         assert_eq!(c.gld_transactions, 1);
         assert_eq!(c.dram_load_sectors, 1);
@@ -967,7 +1308,7 @@ mod tests {
             trace_of(&[Op::GLoadHit(0)]),
             trace_of(&[Op::GLoadHit(4096)]),
         ];
-        let (cycles, c) = replay_warp(&traces, &cost);
+        let (cycles, c) = replay(&traces);
         assert_eq!(c.global_load_requests, 1);
         assert_eq!(c.gld_transactions, 2);
         assert_eq!(c.dram_load_sectors, 0);
@@ -976,61 +1317,202 @@ mod tests {
     }
 
     #[test]
+    fn replay_counts_atomic_dram_sectors() {
+        // 4 lanes hammer one word: one sector of DRAM atomic traffic.
+        let same: Vec<LaneTrace> = (0..4).map(|_| trace_of(&[Op::GAtomic(256)])).collect();
+        let (_, c) = replay(&same);
+        assert_eq!(c.global_atomic_requests, 1);
+        assert_eq!(c.dram_atomic_sectors, 1);
+        // 4 lanes on 4 distant words: four sectors from the same slot.
+        let scattered: Vec<LaneTrace> = (0..4u64)
+            .map(|i| trace_of(&[Op::GAtomic(i * 4096)]))
+            .collect();
+        let (_, c) = replay(&scattered);
+        assert_eq!(c.global_atomic_requests, 1);
+        assert_eq!(c.dram_atomic_sectors, 4);
+    }
+
+    #[test]
     fn converge_realigns_shifted_lanes() {
-        let cost = CostModel::v100();
         // Lane 0 does 3 computes then a load; lane 1 does 1 compute then
         // a load. Without markers the loads land on different steps (2
         // separate requests); with a marker before the load they align
         // into one coalesced request.
         let unaligned = vec![
-            trace_of(&[Op::Compute, Op::Compute, Op::Compute, Op::GLoad(0)]),
-            trace_of(&[Op::Compute, Op::GLoad(4)]),
+            trace_of(&[Op::Compute(3), Op::GLoad(0)]),
+            trace_of(&[Op::Compute(1), Op::GLoad(4)]),
         ];
-        let (_, c) = replay_warp(&unaligned, &cost);
+        let (_, c) = replay(&unaligned);
         assert_eq!(c.global_load_requests, 2);
 
         let aligned = vec![
-            trace_of(&[
-                Op::Compute,
-                Op::Compute,
-                Op::Compute,
-                Op::Converge,
-                Op::GLoad(0),
-            ]),
-            trace_of(&[Op::Compute, Op::Converge, Op::GLoad(4)]),
+            trace_of(&[Op::Compute(3), Op::Converge, Op::GLoad(0)]),
+            trace_of(&[Op::Compute(1), Op::Converge, Op::GLoad(4)]),
         ];
-        let (_, c) = replay_warp(&aligned, &cost);
+        let (_, c) = replay(&aligned);
         assert_eq!(c.global_load_requests, 1);
         assert_eq!(c.gld_transactions, 1, "aligned loads share a sector");
     }
 
     #[test]
     fn converge_with_exhausted_lanes_does_not_deadlock() {
-        let cost = CostModel::v100();
         let traces = vec![
-            trace_of(&[Op::Compute, Op::Converge, Op::Compute]),
-            trace_of(&[Op::Compute]), // finishes before the marker
-            LaneTrace::default(),     // never does anything
+            trace_of(&[Op::Compute(1), Op::Converge, Op::Compute(1)]),
+            trace_of(&[Op::Compute(1)]), // finishes before the marker
+            LaneTrace::default(),        // never does anything
         ];
-        let (_, c) = replay_warp(&traces, &cost);
+        let (_, c) = replay(&traces);
         assert_eq!(c.compute_slots, 2);
     }
 
     #[test]
     fn trailing_converge_is_free() {
-        let cost = CostModel::v100();
         let traces = vec![trace_of(&[Op::Converge]), trace_of(&[Op::Converge])];
-        let (cycles, c) = replay_warp(&traces, &cost);
+        let (cycles, c) = replay(&traces);
         assert_eq!(cycles, 0);
         assert_eq!(c.issued_slots, 0);
     }
 
     #[test]
     fn empty_traces_are_free() {
-        let cost = CostModel::v100();
         let traces = vec![LaneTrace::default(); 32];
-        let (cycles, c) = replay_warp(&traces, &cost);
+        let (cycles, c) = replay(&traces);
         assert_eq!(cycles, 0);
         assert_eq!(c.issued_slots, 0);
+    }
+
+    /// Reference replayer: expand every `Compute(n)` into `n` unit runs,
+    /// defeating the batch path (each step's `min_run` is 1). The
+    /// batched replay must be bit-identical against it.
+    fn replay_unbatched(traces: &[LaneTrace]) -> (u64, ProfileCounters) {
+        let expanded: Vec<LaneTrace> = traces
+            .iter()
+            .map(|t| {
+                let mut ops = Vec::new();
+                for &op in &t.ops {
+                    match op.unpack() {
+                        Op::Compute(n) => {
+                            ops.extend(std::iter::repeat_n(Op::Compute(1), n as usize))
+                        }
+                        other => ops.push(other),
+                    }
+                }
+                LaneTrace::from_ops(&ops)
+            })
+            .collect();
+        replay(&expanded)
+    }
+
+    #[test]
+    fn compute_after_memory_op_is_counted_not_swallowed() {
+        // Regression: a lane whose memory op issues in a step advances
+        // onto its next op *during* the gather pass. The compute-consume
+        // pass must not re-read that lane's head, or the fresh Compute
+        // run is consumed without ever being counted — undercounting
+        // active_thread_slots/compute_slots on every load->compute
+        // transition (ubiquitous in merge loops).
+        let traces = [
+            trace_of(&[Op::Compute(1)]),
+            trace_of(&[Op::GLoad(652), Op::Compute(1)]),
+        ];
+        let (_, c) = replay(&traces);
+        // Step 1: lane 1's load (1 slot) + lane 0's compute (1 slot).
+        // Step 2: lane 1's compute alone (1 slot).
+        assert_eq!(c.active_thread_slots, 3);
+        assert_eq!(c.compute_slots, 2);
+        assert_eq!(c.issued_slots, 3);
+        assert_eq!(c.global_load_requests, 1);
+    }
+
+    #[test]
+    fn batched_compute_replay_is_bit_identical_to_stepping() {
+        // A divergent mix: unequal runs, loads interleaved mid-run,
+        // converge markers, an exhausted lane and an atomic.
+        let cases: Vec<Vec<LaneTrace>> = vec![
+            vec![trace_of(&[Op::Compute(7)]), trace_of(&[Op::Compute(3)])],
+            vec![
+                trace_of(&[Op::Compute(5), Op::GLoad(0), Op::Compute(2)]),
+                trace_of(&[Op::Compute(2), Op::GLoad(64), Op::Compute(9)]),
+                trace_of(&[Op::GStore(128), Op::Compute(4)]),
+            ],
+            vec![
+                trace_of(&[Op::Compute(6), Op::Converge, Op::Compute(1)]),
+                trace_of(&[Op::Compute(2), Op::Converge, Op::Compute(8)]),
+                LaneTrace::default(),
+            ],
+            vec![
+                trace_of(&[Op::Compute(3), Op::GAtomic(0), Op::SLoad(1), Op::Compute(2)]),
+                trace_of(&[Op::Compute(1), Op::SStore(33), Op::Compute(5)]),
+                trace_of(&[Op::Compute(4), Op::SAtomic(1)]),
+            ],
+        ];
+        for traces in cases {
+            let batched = replay(&traces);
+            let stepped = replay_unbatched(&traces);
+            assert_eq!(batched.0, stepped.0, "cycles diverged");
+            assert_eq!(batched.1, stepped.1, "counters diverged");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_replays_is_clean() {
+        // Replay two very different warps through one scratch; the second
+        // must not see any state from the first.
+        let mut scratch = ReplayScratch::default();
+        let cost = CostModel::v100();
+        let first = vec![trace_of(&[Op::Compute(9), Op::GLoad(0)]); 32];
+        let _ = replay_warp(&first, &cost, &mut scratch);
+        let second = vec![trace_of(&[Op::Compute(1)])];
+        let (cycles, c) = replay_warp(&second, &cost, &mut scratch);
+        assert_eq!(c.issued_slots, 1);
+        assert_eq!(c.active_thread_slots, 1);
+        assert_eq!(cycles, cost.compute);
+    }
+}
+
+#[cfg(test)]
+mod replay_microbench {
+    use super::*;
+    use crate::trace::LaneTrace;
+
+    /// Not a correctness test: a timing probe for the replay hot loop.
+    /// Run with `cargo test --release -p gpu-sim microbench -- --nocapture --ignored`.
+    #[test]
+    #[ignore]
+    fn microbench_replay_polak_shape() {
+        // Polak-like warp: 32 lanes alternating compute/scattered-load,
+        // with a divergent tail on lane 0.
+        let mut traces: Vec<LaneTrace> = Vec::new();
+        for lane in 0..32u64 {
+            let mut t = LaneTrace::default();
+            let steps = 40 + (lane % 7) * 10 + if lane == 0 { 120 } else { 0 };
+            for k in 0..steps {
+                t.push_compute(1);
+                t.push(Op::GLoad((lane * 2_654_435_761 + k * 4096) & 0xfff_ffff));
+                if k % 3 == 0 {
+                    t.push(Op::GLoadHit(((lane * 97 + k) * 4) & 0xfff));
+                }
+            }
+            traces.push(t);
+        }
+        let cost = CostModel::v100();
+        let mut scratch = ReplayScratch::default();
+        let reps = 20_000u32;
+        let t0 = std::time::Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..reps {
+            let (cycles, c) = replay_warp(&traces, &cost, &mut scratch);
+            acc = acc.wrapping_add(cycles).wrapping_add(c.active_thread_slots);
+        }
+        let dt = t0.elapsed();
+        let (_, c1) = replay_warp(&traces, &cost, &mut scratch);
+        let steps = c1.issued_slots;
+        println!(
+            "replay: {reps} reps x {} ops ({} issued slots) in {:?} -> {:.1} ns/slot (acc {acc})",
+            traces.iter().map(|t| t.ops.len()).sum::<usize>(),
+            steps,
+            dt,
+            dt.as_nanos() as f64 / (reps as f64 * steps as f64),
+        );
     }
 }

@@ -75,7 +75,7 @@ pub use cost::CostModel;
 pub use counters::{LaunchStats, ProfileCounters};
 pub use device::{Device, DeviceConfig};
 pub use error::SimError;
-pub use exec::{BlockCtx, KernelConfig, LaneCtx};
+pub use exec::{global_thread_id, BlockCtx, BlockScratch, KernelConfig, LaneCtx};
 pub use mem::{BufId, DeviceMem};
 pub use race::RaceKind;
 pub use sanitize::SanitizerKind;

@@ -362,6 +362,23 @@ impl DeviceMem {
         Ok(self.try_word(id, idx)?.load(Ordering::Relaxed))
     }
 
+    /// Load a word and return it together with its flat device address.
+    /// One buffer-table lookup instead of the `try_load` + `addr_of`
+    /// pair — this sits on the hottest path of the simulator (every
+    /// `ld_global` of every lane).
+    #[inline]
+    pub(crate) fn try_load_addr(&self, id: BufId, idx: usize) -> Result<(u32, u64), SimError> {
+        let buf = &self.buffers[id.0];
+        match buf.data.get(idx) {
+            Some(w) => Ok((w.load(Ordering::Relaxed), buf.base + (idx as u64) * 4)),
+            None => Err(SimError::MemoryFault {
+                buffer: buf.name.clone(),
+                index: idx,
+                len: buf.data.len(),
+            }),
+        }
+    }
+
     #[inline]
     pub(crate) fn try_store(&self, id: BufId, idx: usize, val: u32) -> Result<(), SimError> {
         self.try_word(id, idx)?.store(val, Ordering::Relaxed);

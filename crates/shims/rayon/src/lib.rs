@@ -38,6 +38,21 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    par_map_init_vec(items, || (), |(), item| f(item))
+}
+
+/// [`par_map_vec`] with per-worker state: every worker thread calls
+/// `init` exactly once and threads the value mutably through each item it
+/// processes (the inline fallback uses a single state for all items).
+/// This is what backs rayon's `map_init` — the gpu-sim block executor
+/// uses it to recycle one scratch arena per worker across blocks.
+fn par_map_init_vec<T, S, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -45,7 +60,8 @@ where
     let budget = current_num_threads().saturating_sub(ACTIVE_WORKERS.load(Ordering::Relaxed));
     let workers = budget.min(n);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
     ACTIVE_WORKERS.fetch_add(workers, Ordering::Relaxed);
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -53,18 +69,21 @@ where
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("rayon shim: item slot poisoned")
+                        .take()
+                        .expect("rayon shim: item taken twice");
+                    let out = f(&mut state, item);
+                    *results[i].lock().expect("rayon shim: result slot poisoned") = Some(out);
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("rayon shim: item slot poisoned")
-                    .take()
-                    .expect("rayon shim: item taken twice");
-                let out = f(item);
-                *results[i].lock().expect("rayon shim: result slot poisoned") = Some(out);
             });
         }
     });
@@ -91,6 +110,14 @@ pub struct ParMap<T, F> {
     f: F,
 }
 
+/// A [`ParIter`] with a pending per-item transform that also threads a
+/// per-worker state value (rayon's `map_init`).
+pub struct ParMapInit<T, I, F> {
+    items: Vec<T>,
+    init: I,
+    f: F,
+}
+
 impl<T: Send> ParIter<T> {
     pub fn map<R, F>(self, f: F) -> ParMap<T, F>
     where
@@ -99,6 +126,22 @@ impl<T: Send> ParIter<T> {
     {
         ParMap {
             items: self.items,
+            f,
+        }
+    }
+
+    /// Like [`map`](Self::map), but each worker thread first builds a
+    /// state value with `init` and reuses it (by `&mut`) across every
+    /// item that worker processes.
+    pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParMapInit<T, I, F>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
             f,
         }
     }
@@ -196,6 +239,20 @@ where
     }
 }
 
+impl<T, S, R, I, F> ParallelIterator for ParMapInit<T, I, F>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_init_vec(self.items, self.init, self.f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -234,6 +291,33 @@ mod tests {
         let data = vec![1u64, 2, 3, 4];
         let s: u64 = data.par_iter().map(|&x| x * 10).sum();
         assert_eq!(s, 100);
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_preserves_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        let v: Vec<usize> = (0usize..256)
+            .into_par_iter()
+            .map_init(
+                || {
+                    INITS.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    // The scratch must arrive empty of *our* marker: each
+                    // item clears what it wrote, proving reuse is safe.
+                    assert!(scratch.is_empty());
+                    scratch.push(i);
+                    let out = scratch[0] * 2;
+                    scratch.clear();
+                    out
+                },
+            )
+            .collect();
+        assert_eq!(v, (0..256).map(|i| i * 2).collect::<Vec<_>>());
+        // One init per worker (or one inline), never one per item.
+        assert!(INITS.load(Ordering::Relaxed) <= super::current_num_threads().max(1));
     }
 
     #[test]

@@ -218,11 +218,11 @@ fn launch_bin(
     let cfg = KernelConfig::new(grid, BLOCK_DIM);
     dev.launch(mem, cfg, |blk| {
         blk.phase(|lane| {
-            let group = lane.global_tid() / group_size;
+            let group = lane.global_tid() / group_size as u64;
             let lane_in_group = lane.tid() % group_size;
             let mut local = 0u32;
             let mut i = group;
-            while i < n_edges {
+            while i < n_edges as u64 {
                 let e = lane.ld_global(edge_ids, i as usize);
                 let u = lane.ld_global(g.edge_src, e as usize);
                 let v = lane.ld_global(g.edge_dst, e as usize);
@@ -265,7 +265,7 @@ fn launch_bin(
                     }
                 }
                 lane.converge();
-                i += groups_total;
+                i += groups_total as u64;
             }
             warp_reduce_add(lane, counter, 0, local);
         });

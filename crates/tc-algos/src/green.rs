@@ -56,12 +56,14 @@ impl TcAlgorithm for Green {
         let stats = dev.launch(mem, cfg, |blk| {
             blk.phase(|lane| {
                 // Group id across the grid; lane index within the group.
-                let group = lane.global_tid() / GROUP;
+                // global_tid is u64 (huge grids don't wrap), so group
+                // arithmetic stays in u64 up to the edge-index cast.
+                let group = lane.global_tid() / GROUP as u64;
                 let lane_in_group = lane.tid() % GROUP;
                 let mut local = 0u32;
                 // Groups stride over edges.
                 let mut e = group;
-                while e < num_edges {
+                while e < num_edges as u64 {
                     let u = lane.ld_global(g.edge_src, e as usize);
                     let v = lane.ld_global(g.edge_dst, e as usize);
                     let a_base = lane.ld_global(g.row_offsets, u as usize);
@@ -110,7 +112,7 @@ impl TcAlgorithm for Green {
                         }
                     }
                     lane.converge();
-                    e += groups_total;
+                    e += groups_total as u64;
                 }
                 warp_reduce_add(lane, counter, 0, local);
             });

@@ -50,9 +50,11 @@ impl TcAlgorithm for Polak {
 
         let stats = dev.launch(mem, cfg, |blk| {
             blk.phase(|lane| {
+                // u64: edge-per-thread grids on billion-edge graphs
+                // overflow a u32 thread id.
                 let e = lane.global_tid();
                 let mut local = 0u32;
-                if e < g.num_edges {
+                if e < g.num_edges as u64 {
                     let e = e as usize;
                     // Map tid -> edge (u, v).
                     let u = lane.ld_global(g.edge_src, e);

@@ -1,0 +1,13 @@
+//! Measurement-only overlay for the A/B perf comparison: one serial
+//! sweep over Wiki-Talk, per-cell wall times on stdout as CSV.
+use tc_bench::{datasets_from_args, sweep_serial};
+use tc_core::framework::registry::all_algorithms;
+
+fn main() {
+    let datasets = datasets_from_args(&["Wiki-Talk".to_string()]).unwrap();
+    let algos = all_algorithms();
+    let recs = sweep_serial(&algos, &datasets);
+    for r in &recs {
+        println!("{},{:.1}", r.algorithm, r.wall.as_secs_f64() * 1e3);
+    }
+}

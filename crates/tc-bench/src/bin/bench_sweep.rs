@@ -1,0 +1,117 @@
+//! Sweep microbenchmark: host wall-clock time of the evaluation engine.
+//!
+//! Runs all nine registered algorithms over the selected datasets
+//! (default: Wiki-Talk, the medium R-MAT stand-in) `--reps` times and
+//! reports, per cell, the best host wall time plus the modelled kernel
+//! cycles. This measures the *simulator's* speed — the bottleneck of the
+//! full Table III sweep — not the modelled device time, which is
+//! deterministic and pinned by the snapshot tests.
+//!
+//! ```sh
+//! cargo run --release -p tc-bench --bin bench_sweep -- \
+//!     [dataset-name... | --small | --medium] [--serial] [--reps N] \
+//!     [--bench-json PATH]
+//! ```
+//!
+//! `--bench-json` writes the machine-readable trajectory file (see
+//! `tc_bench::bench_json`); committing it as `BENCH_sim.json` records the
+//! perf baseline future PRs regress against.
+
+use std::time::Instant;
+
+use tc_bench::bench_json::{self, BenchCell};
+use tc_bench::{datasets_from_args, eprint_progress, sweep, sweep_serial};
+use tc_core::framework::registry::all_algorithms;
+use tc_core::framework::runner::RunRecord;
+
+fn main() -> Result<(), String> {
+    let mut reps: u32 = 3;
+    let mut serial = false;
+    let mut json_path: Option<String> = None;
+    let mut dataset_args: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serial" => serial = true,
+            "--reps" => {
+                reps = args
+                    .next()
+                    .ok_or("--reps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                if reps == 0 {
+                    return Err("--reps must be at least 1".to_string());
+                }
+            }
+            "--bench-json" => {
+                json_path = Some(args.next().ok_or("--bench-json needs a path")?);
+            }
+            other => dataset_args.push(other.to_string()),
+        }
+    }
+    if dataset_args.is_empty() {
+        dataset_args.push("Wiki-Talk".to_string());
+    }
+    let datasets = datasets_from_args(&dataset_args)?;
+    let algos = all_algorithms();
+    let mode = if serial { "serial" } else { "parallel" };
+    eprint_progress(&format!(
+        "bench_sweep: {} algorithms x {} datasets, {reps} rep(s), {mode}",
+        algos.len(),
+        datasets.len(),
+    ));
+
+    let run = |label: &str| -> Vec<RunRecord> {
+        let started = Instant::now();
+        let records = if serial {
+            sweep_serial(&algos, &datasets)
+        } else {
+            sweep(&algos, &datasets)
+        };
+        eprint_progress(&format!(
+            "{label}: {:.1} ms",
+            started.elapsed().as_secs_f64() * 1e3
+        ));
+        records
+    };
+
+    let total_started = Instant::now();
+    let first = run("rep 1");
+    let mut cells = BenchCell::from_records(&first);
+    for rep in 1..reps {
+        let records = run(&format!("rep {}", rep + 1));
+        BenchCell::merge_min_wall(&mut cells, &records);
+    }
+    let total_wall_ms = total_started.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "{:<12} {:<18} {:>10} {:>14} {:>9}",
+        "algorithm", "dataset", "wall ms", "kernel cycles", "outcome"
+    );
+    for c in &cells {
+        println!(
+            "{:<12} {:<18} {:>10.3} {:>14} {:>9}",
+            c.algorithm,
+            c.dataset,
+            c.wall_ms,
+            c.kernel_cycles,
+            if c.outcome == "ok" && c.verified {
+                "ok"
+            } else {
+                c.outcome
+            }
+        );
+    }
+    let sweep_wall: f64 = cells.iter().map(|c| c.wall_ms).sum();
+    println!("best-rep sweep wall (sum of cells): {sweep_wall:.1} ms");
+    println!("total harness wall ({reps} reps):   {total_wall_ms:.1} ms");
+
+    if let Some(path) = json_path {
+        let text = bench_json::render("V100", reps, total_wall_ms, &cells);
+        bench_json::validate(&text).map_err(|e| format!("internal: emitted bad JSON: {e}"))?;
+        std::fs::write(&path, &text).map_err(|e| format!("write {path}: {e}"))?;
+        eprint_progress(&format!("wrote {path}"));
+    }
+    Ok(())
+}

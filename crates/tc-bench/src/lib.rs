@@ -10,6 +10,8 @@
 //! small class, `--medium` small+medium — handy for quick runs, since the
 //! full sweep simulates ~170 kernel configurations.
 
+pub mod bench_json;
+
 use gpu_sim::Device;
 use graph_data::{DatasetSpec, SizeClass, TABLE2_DATASETS};
 use tc_algos::api::TcAlgorithm;

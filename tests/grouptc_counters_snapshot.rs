@@ -35,6 +35,7 @@ const GOLDEN: ProfileCounters = ProfileCounters {
     global_store_requests: 0,
     gst_transactions: 0,
     global_atomic_requests: 192,
+    dram_atomic_sectors: 192,
     shared_load_requests: 20_208,
     shared_store_requests: 2_413,
     shared_atomic_requests: 0,

@@ -106,7 +106,7 @@ fn bandwidth_floor_binds_massively_parallel_traffic() {
         .launch(&mem, KernelConfig::new(4096, 256), |blk| {
             let b = blk.block_idx();
             blk.phase(|lane| {
-                let idx = ((lane.global_tid() as u64 * 2654435761 + b as u64) % (1 << 20)) as usize;
+                let idx = ((lane.global_tid() * 2654435761 + b as u64) % (1 << 20)) as usize;
                 lane.ld_global(data, idx);
             });
         })
