@@ -117,7 +117,11 @@ impl AddAssign for ProfileCounters {
 
 /// Result of one kernel launch: the modelled kernel time plus the merged
 /// profiling counters of every warp that ran.
-#[derive(Debug, Default, Clone, Copy)]
+///
+/// `PartialEq`/`Eq` compare every field (all counters are integers), so
+/// differential tests can pin two execution engines to byte-identical
+/// outcomes with a single assert.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchStats {
     /// Modelled kernel time in device cycles (wave-scheduled across SMs).
     pub kernel_cycles: u64,

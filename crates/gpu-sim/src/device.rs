@@ -31,6 +31,12 @@ pub struct DeviceConfig {
     /// [`KernelConfig::sanitize`] flag — the sanitizer counterpart of
     /// `force_race_detection`.
     pub force_sanitizer: bool,
+    /// Force the retained two-pass trace engine (see
+    /// [`KernelConfig::retained_trace`]) for every launch on this
+    /// device. Differential harnesses use this to run algorithms that
+    /// build their own launch configurations internally under the
+    /// reference engine and compare against the default fused one.
+    pub force_retained_trace: bool,
     pub cost: CostModel,
 }
 
@@ -51,6 +57,7 @@ impl DeviceConfig {
             global_mem_words: 16 * 1024 * 1024, // 64 MiB => 16 GB / 256
             force_race_detection: false,
             force_sanitizer: false,
+            force_retained_trace: false,
             cost: CostModel::v100(),
         }
     }
@@ -68,6 +75,7 @@ impl DeviceConfig {
             global_mem_words: 24 * 1024 * 1024,
             force_race_detection: false,
             force_sanitizer: false,
+            force_retained_trace: false,
             cost: CostModel::rtx4090(),
         }
     }
@@ -113,6 +121,13 @@ impl Device {
     /// [`DeviceConfig::force_sanitizer`]).
     pub fn with_sanitizer(mut self) -> Self {
         self.config.force_sanitizer = true;
+        self
+    }
+
+    /// Force the retained two-pass trace engine on for every launch on
+    /// this device (see [`DeviceConfig::force_retained_trace`]).
+    pub fn with_retained_trace(mut self) -> Self {
+        self.config.force_retained_trace = true;
         self
     }
 

@@ -1,9 +1,9 @@
 use crate::counters::ProfileCounters;
 use crate::device::Device;
-use crate::mem::{BufId, DeviceMem};
+use crate::mem::{BufId, Buffer, DeviceMem};
 use crate::race::{Access, RaceTracker};
 use crate::sanitize::{SanTracker, ShadowAccess};
-use crate::trace::{LaneTrace, Op, PackedOp};
+use crate::trace::{LaneTrace, Op, PackedOp, TAG_COMPUTE, TAG_CONVERGE, TAG_SATOMIC};
 use crate::{CostModel, SimError, SHARED_BANKS, WARP_SIZE};
 
 /// Launch geometry: `grid_dim` blocks of `block_dim` threads, each block
@@ -25,6 +25,17 @@ pub struct KernelConfig {
     /// Off by default like `race_detect`; also forced on for every
     /// launch on a [`Device::with_sanitizer`] device.
     pub sanitize: bool,
+    /// Replay with the retained two-pass engine: record every lane of
+    /// the block into block-lifetime traces, then replay them all at the
+    /// barrier — the pre-fusion execution order, kept as a debug /
+    /// differential reference. Off by default: the fused engine replays
+    /// each warp the moment its 32 lanes finish a phase, so trace words
+    /// are consumed while still cache-hot. Both engines are
+    /// bit-identical by construction (same lane order, same replay
+    /// rules); `tests/fused_vs_twopass.rs` locks that equivalence. Also
+    /// forced on for every launch on a [`Device::with_retained_trace`]
+    /// device.
+    pub retained_trace: bool,
 }
 
 impl KernelConfig {
@@ -35,6 +46,7 @@ impl KernelConfig {
             shared_words: 0,
             race_detect: false,
             sanitize: false,
+            retained_trace: false,
         }
     }
 
@@ -54,6 +66,13 @@ impl KernelConfig {
         self.sanitize = on;
         self
     }
+
+    /// Toggle the retained two-pass trace engine for this launch (see
+    /// [`KernelConfig::retained_trace`]).
+    pub fn with_retained_trace(mut self, on: bool) -> Self {
+        self.retained_trace = on;
+        self
+    }
 }
 
 /// `blockIdx.x * blockDim.x + threadIdx.x`, widened to `u64` *before* the
@@ -68,9 +87,16 @@ pub fn global_thread_id(block_idx: u32, block_dim: u32, tid: u32) -> u64 {
 
 /// Reusable per-worker arena for block execution. One `BlockScratch`
 /// lives per rayon worker (via `map_init`) and is recycled across every
-/// block that worker simulates, so the steady-state replay loop performs
-/// no heap allocation: lane traces keep their `Vec<Op>` capacity, and the
-/// shared/L1/cursor buffers are `clear()`+`resize()`d in place.
+/// block that worker simulates, so the steady-state record/replay loop
+/// performs no heap allocation: lane traces keep their `Vec<Op>`
+/// capacity, and the shared/L1/cursor buffers are `clear()`+`resize()`d
+/// in place.
+///
+/// Under the default fused engine `traces` holds one warp's worth of
+/// lane buffers (≤ 32), recycled across every warp of every phase —
+/// that tiny working set is what keeps trace words L1-resident between
+/// record and replay. The retained engine sizes it to the full
+/// `block_dim` instead.
 #[derive(Default)]
 pub struct BlockScratch {
     shared: Vec<u32>,
@@ -80,18 +106,157 @@ pub struct BlockScratch {
 }
 
 impl BlockScratch {
-    fn reset(&mut self, shared_words: usize, block_dim: usize, l1_len: usize) {
+    fn reset(&mut self, shared_words: usize, trace_lanes: usize, l1_len: usize) {
         self.shared.clear();
         self.shared.resize(shared_words, 0);
         // Keep the per-lane op buffers (the hot allocation) alive across
         // blocks; only their lengths reset.
-        self.traces.truncate(block_dim);
+        self.traces.truncate(trace_lanes);
         for t in &mut self.traces {
             t.clear();
         }
-        self.traces.resize_with(block_dim, LaneTrace::default);
+        self.traces.resize_with(trace_lanes, LaneTrace::default);
         self.l1.clear();
         self.l1.resize(l1_len, u64::MAX);
+    }
+}
+
+/// The consumer side of the record/replay split: lanes *generate*
+/// `PackedOp` words into buffers the sink hands out, and the sink
+/// decides when those buffers are *consumed* (replayed into cycles and
+/// counters). The two implementations differ only in consumption
+/// timing, never in replay rules, so their results are bit-identical:
+///
+/// * [`FusedSink`] (default) replays each warp's slice of the phase the
+///   moment its ≤ 32 lanes finish recording it, then immediately
+///   recycles the same 32 buffers for the next warp. Trace words are
+///   written and read back while still cache-hot, and no block-lifetime
+///   trace ever exists.
+/// * [`RetainedSink`] keeps one buffer per lane of the block and
+///   replays them all at the phase barrier — the original two-pass
+///   engine, preserved behind [`KernelConfig::retained_trace`] as the
+///   differential reference.
+///
+/// The race detector and SimSan are *not* sink clients: they hook the
+/// record side (checks run at access time inside [`LaneCtx`]) and are
+/// phase-scoped via their own `end_phase`, so they see the exact same
+/// access interleaving under either sink.
+pub(crate) trait PhaseSink {
+    /// The buffer lane `tid` records the current phase into. The fused
+    /// sink maps `tid` to its warp-local slot; the retained sink to the
+    /// lane's block-lifetime trace.
+    fn lane_trace(&mut self, tid: u32) -> &mut LaneTrace;
+
+    /// All lanes of one warp have finished recording the current phase
+    /// (called in warp order). The fused sink replays and recycles its
+    /// warp buffers here; the retained sink does nothing.
+    fn warp_complete(&mut self);
+
+    /// Block-wide barrier: the phase is over. Folds the phase's cycle
+    /// cost (max over the block's warps — they run concurrently, the
+    /// barrier waits for the slowest) into the block total. The
+    /// retained sink replays every lane trace here first.
+    fn end_phase(&mut self);
+
+    /// The block is done: yield its accumulated (cycles, counters).
+    fn finish(&mut self) -> (u64, ProfileCounters);
+}
+
+/// Streaming sink: replay each warp phase as soon as it is recorded.
+pub(crate) struct FusedSink<'a> {
+    /// One buffer per warp lane (≤ 32), shared by every warp in turn.
+    traces: &'a mut [LaneTrace],
+    replay: &'a mut ReplayScratch,
+    cost: CostModel,
+    counters: ProfileCounters,
+    cycles: u64,
+    /// Max replay cycles over the warps seen so far this phase.
+    phase_cycles: u64,
+}
+
+impl<'a> FusedSink<'a> {
+    fn new(traces: &'a mut [LaneTrace], replay: &'a mut ReplayScratch, cost: CostModel) -> Self {
+        FusedSink {
+            traces,
+            replay,
+            cost,
+            counters: ProfileCounters::default(),
+            cycles: 0,
+            phase_cycles: 0,
+        }
+    }
+}
+
+impl PhaseSink for FusedSink<'_> {
+    #[inline]
+    fn lane_trace(&mut self, tid: u32) -> &mut LaneTrace {
+        &mut self.traces[tid as usize % WARP_SIZE]
+    }
+
+    fn warp_complete(&mut self) {
+        let (cycles, counters) = replay_warp(self.traces, &self.cost, self.replay);
+        self.phase_cycles = self.phase_cycles.max(cycles);
+        self.counters += counters;
+        for t in self.traces.iter_mut() {
+            t.clear();
+        }
+    }
+
+    fn end_phase(&mut self) {
+        self.cycles += self.phase_cycles;
+        self.phase_cycles = 0;
+    }
+
+    fn finish(&mut self) -> (u64, ProfileCounters) {
+        (self.cycles, self.counters)
+    }
+}
+
+/// Two-pass sink: record the whole block, replay at the barrier.
+pub(crate) struct RetainedSink<'a> {
+    /// One block-lifetime buffer per lane of the block.
+    traces: &'a mut [LaneTrace],
+    replay: &'a mut ReplayScratch,
+    cost: CostModel,
+    counters: ProfileCounters,
+    cycles: u64,
+}
+
+impl<'a> RetainedSink<'a> {
+    fn new(traces: &'a mut [LaneTrace], replay: &'a mut ReplayScratch, cost: CostModel) -> Self {
+        RetainedSink {
+            traces,
+            replay,
+            cost,
+            counters: ProfileCounters::default(),
+            cycles: 0,
+        }
+    }
+}
+
+impl PhaseSink for RetainedSink<'_> {
+    #[inline]
+    fn lane_trace(&mut self, tid: u32) -> &mut LaneTrace {
+        &mut self.traces[tid as usize]
+    }
+
+    fn warp_complete(&mut self) {}
+
+    fn end_phase(&mut self) {
+        let mut phase_cycles = 0u64;
+        for warp in self.traces.chunks(WARP_SIZE) {
+            let (cycles, counters) = replay_warp(warp, &self.cost, self.replay);
+            phase_cycles = phase_cycles.max(cycles);
+            self.counters += counters;
+        }
+        self.cycles += phase_cycles;
+        for t in self.traces.iter_mut() {
+            t.clear();
+        }
+    }
+
+    fn finish(&mut self) -> (u64, ProfileCounters) {
+        (self.cycles, self.counters)
     }
 }
 
@@ -99,17 +264,20 @@ impl BlockScratch {
 ///
 /// A kernel structures its work as a sequence of [`BlockCtx::phase`]
 /// calls; each phase runs every lane of the block to completion (in lane
-/// order) and ends with an implicit block-wide barrier, after which the
-/// lane traces are replayed warp-by-warp for profiling and timing. All
-/// growable state lives in the borrowed [`BlockScratch`] arena.
+/// order) and ends with an implicit block-wide barrier. Lane traces are
+/// replayed warp-by-warp for profiling and timing — by default the
+/// moment each warp finishes recording its slice of the phase (see
+/// [`PhaseSink`]). All growable state lives in the borrowed
+/// [`BlockScratch`] arena.
 pub struct BlockCtx<'a> {
     mem: &'a DeviceMem,
-    cost: CostModel,
     block_idx: u32,
     block_dim: u32,
     grid_dim: u32,
     shared: &'a mut Vec<u32>,
-    traces: &'a mut Vec<LaneTrace>,
+    /// Consumes recorded ops: hands out recording buffers and replays
+    /// them (per warp when fused, per phase when retained).
+    sink: &'a mut dyn PhaseSink,
     /// Phase-based data-race detector (`Some` when the launch enabled
     /// detection): records this block's shared and plain-global accesses
     /// between barriers and poisons the block on a cross-lane conflict.
@@ -126,9 +294,6 @@ pub struct BlockCtx<'a> {
     /// threads.
     l1: &'a mut Vec<u64>,
     l1_slice: usize,
-    replay: &'a mut ReplayScratch,
-    counters: ProfileCounters,
-    cycles: u64,
     fault: Option<SimError>,
 }
 
@@ -164,33 +329,44 @@ impl<'a> BlockCtx<'a> {
         if self.fault.is_some() {
             return;
         }
-        for tid in 0..self.block_dim {
-            if self.fault.is_some() {
-                break;
+        let mut tid = 0u32;
+        'warps: while tid < self.block_dim {
+            let warp_end = (tid + WARP_SIZE as u32).min(self.block_dim);
+            let l1_base = (tid as usize / WARP_SIZE) * self.l1_slice;
+            while tid < warp_end {
+                if self.fault.is_some() {
+                    // The fault discards the launch's stats, so the
+                    // partially recorded warp is never replayed.
+                    break 'warps;
+                }
+                let mut lane = LaneCtx {
+                    mem: self.mem,
+                    shared: self.shared,
+                    trace: self.sink.lane_trace(tid),
+                    race: &mut self.race,
+                    san: &mut self.san,
+                    l1: &mut self.l1[l1_base..l1_base + self.l1_slice],
+                    buf_cache: None,
+                    tid,
+                    block_idx: self.block_idx,
+                    block_dim: self.block_dim,
+                    grid_dim: self.grid_dim,
+                    fault: &mut self.fault,
+                    pending_compute: 0,
+                };
+                f(&mut lane);
+                lane.flush_compute();
+                tid += 1;
             }
-            let warp = (tid as usize / WARP_SIZE) * self.l1_slice;
-            let mut lane = LaneCtx {
-                mem: self.mem,
-                shared: self.shared,
-                trace: &mut self.traces[tid as usize],
-                race: &mut self.race,
-                san: &mut self.san,
-                l1: &mut self.l1[warp..warp + self.l1_slice],
-                l1_mask: self.l1_slice as u64 - 1,
-                tid,
-                block_idx: self.block_idx,
-                block_dim: self.block_dim,
-                grid_dim: self.grid_dim,
-                fault: &mut self.fault,
-                pending_compute: 0,
-            };
-            f(&mut lane);
-            lane.flush_compute();
+            // The warp's slice of the phase is fully recorded: the fused
+            // sink replays it here, while its trace words are still hot.
+            self.sink.warp_complete();
         }
         self.barrier();
     }
 
-    /// Replay the traces accumulated since the previous barrier.
+    /// End the phase: close the analysis epochs and fold the phase's
+    /// replay cycles (the retained sink also replays here).
     fn barrier(&mut self) {
         if let Some(t) = self.race.as_mut() {
             t.end_phase();
@@ -198,18 +374,7 @@ impl<'a> BlockCtx<'a> {
         if let Some(t) = self.san.as_mut() {
             t.end_phase();
         }
-        let mut phase_cycles = 0u64;
-        for warp in self.traces.chunks(WARP_SIZE) {
-            let (cycles, counters) = replay_warp(warp, &self.cost, self.replay);
-            // Warps of a block run concurrently; the barrier waits for
-            // the slowest one.
-            phase_cycles = phase_cycles.max(cycles);
-            self.counters += counters;
-        }
-        self.cycles += phase_cycles;
-        for t in self.traces.iter_mut() {
-            t.clear();
-        }
+        self.sink.end_phase();
     }
 }
 
@@ -223,7 +388,13 @@ pub struct LaneCtx<'a, 'b> {
     race: &'b mut Option<RaceTracker>,
     san: &'b mut Option<SanTracker>,
     l1: &'b mut [u64],
-    l1_mask: u64,
+    /// One-entry cache of the last buffer this lane touched through a
+    /// global accessor. Nearly every global access of a scan or probe
+    /// loop hits the same buffer as the previous one, so the common case
+    /// is a handle compare instead of a buffer-table chase. Sound
+    /// because the lane holds `&DeviceMem` for the whole launch: the
+    /// buffer table cannot change while the cache lives.
+    buf_cache: Option<(BufId, &'a Buffer)>,
     tid: u32,
     block_idx: u32,
     block_dim: u32,
@@ -238,7 +409,7 @@ pub struct LaneCtx<'a, 'b> {
     pending_compute: u32,
 }
 
-impl LaneCtx<'_, '_> {
+impl<'a> LaneCtx<'a, '_> {
     /// Thread index within the block (`threadIdx.x`).
     #[inline]
     pub fn tid(&self) -> u32 {
@@ -310,8 +481,20 @@ impl LaneCtx<'_, '_> {
     /// launch enabled it); a conflict poisons the block. Out-of-range
     /// indices are skipped so the subsequent data access reports the
     /// bounds fault with its usual message.
-    #[inline]
+    ///
+    /// Each analysis guard is an always-inlined `is_some` test in front
+    /// of a never-inlined body: the checks sit on every memory access of
+    /// every lane, and letting the (cold on plain runs) detector body
+    /// into the accessors turned each disabled check into a real call.
+    #[inline(always)]
     fn race_check_shared(&mut self, idx: usize, access: Access) {
+        if self.race.is_some() {
+            self.race_check_shared_slow(idx, access);
+        }
+    }
+
+    #[inline(never)]
+    fn race_check_shared_slow(&mut self, idx: usize, access: Access) {
         let tid = self.tid;
         if let Some(t) = self.race.as_mut() {
             if idx < self.shared.len() {
@@ -325,19 +508,24 @@ impl LaneCtx<'_, '_> {
     /// Run one *plain* global access through the race detector. Atomics
     /// never come through here: they synchronize with each other and are
     /// exempt by design.
-    #[inline]
+    #[inline(always)]
     fn race_check_global(&mut self, buf: BufId, idx: usize, access: Access) {
-        let tid = self.tid;
         if self.race.is_some() {
-            let addr = self.mem.addr_of(buf, idx);
-            let name = self.mem.name(buf);
-            if let Some(err) = self
-                .race
-                .as_mut()
-                .and_then(|t| t.check_global(tid, addr, name, idx, access))
-            {
-                self.set_fault(err);
-            }
+            self.race_check_global_slow(buf, idx, access);
+        }
+    }
+
+    #[inline(never)]
+    fn race_check_global_slow(&mut self, buf: BufId, idx: usize, access: Access) {
+        let tid = self.tid;
+        let addr = self.mem.addr_of(buf, idx);
+        let name = self.mem.name(buf);
+        if let Some(err) = self
+            .race
+            .as_mut()
+            .and_then(|t| t.check_global(tid, addr, name, idx, access))
+        {
+            self.set_fault(err);
         }
     }
 
@@ -345,8 +533,15 @@ impl LaneCtx<'_, '_> {
     /// launch enabled the sanitizer); a report poisons the block. Checks
     /// never touch the lane trace or the cost model, so a clean kernel's
     /// counters and cycles are identical sanitizer-on and -off.
-    #[inline]
+    #[inline(always)]
     fn san_check_shared(&mut self, idx: usize, access: ShadowAccess) {
+        if self.san.is_some() {
+            self.san_check_shared_slow(idx, access);
+        }
+    }
+
+    #[inline(never)]
+    fn san_check_shared_slow(&mut self, idx: usize, access: ShadowAccess) {
         let tid = self.tid;
         if let Some(t) = self.san.as_mut() {
             if let Some(err) = t.check_shared(tid, idx, access) {
@@ -358,19 +553,24 @@ impl LaneCtx<'_, '_> {
     /// Vet one global-memory access against the SimSan shadow. Runs
     /// *before* the data access so that freed-handle and redzone hits
     /// carry the sanitizer diagnostic rather than a bare `MemoryFault`.
-    #[inline]
+    #[inline(always)]
     fn san_check_global(&mut self, buf: BufId, idx: usize, access: ShadowAccess) {
-        let tid = self.tid;
         if self.san.is_some() {
-            let state = self.mem.shadow_state(buf, idx);
-            let name = self.mem.name(buf);
-            if let Some(err) = self
-                .san
-                .as_mut()
-                .and_then(|t| t.check_global(tid, state, name, idx, access))
-            {
-                self.set_fault(err);
-            }
+            self.san_check_global_slow(buf, idx, access);
+        }
+    }
+
+    #[inline(never)]
+    fn san_check_global_slow(&mut self, buf: BufId, idx: usize, access: ShadowAccess) {
+        let tid = self.tid;
+        let state = self.mem.shadow_state(buf, idx);
+        let name = self.mem.name(buf);
+        if let Some(err) = self
+            .san
+            .as_mut()
+            .and_then(|t| t.check_global(tid, state, name, idx, access))
+        {
+            self.set_fault(err);
         }
     }
 
@@ -403,6 +603,22 @@ impl LaneCtx<'_, '_> {
         self.trace.push(Op::Converge);
     }
 
+    /// Resolve `buf` through the lane's one-entry buffer cache (see
+    /// [`LaneCtx::buf_cache`]). The returned reference borrows the
+    /// launch-lifetime `DeviceMem`, not `self`, so callers can keep it
+    /// across trace and fault accesses.
+    #[inline]
+    fn global_buf(&mut self, buf: BufId) -> &'a Buffer {
+        match self.buf_cache {
+            Some((id, b)) if id == buf => b,
+            _ => {
+                let b = self.mem.buffer(buf);
+                self.buf_cache = Some((buf, b));
+                b
+            }
+        }
+    }
+
     /// Load one word from global memory. Consecutive touches of the same
     /// 32-byte sector by this lane are recorded as L1 hits (no DRAM
     /// transaction), modelling the spatial locality of sequential scans.
@@ -416,7 +632,7 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
-        let (val, addr) = match self.mem.try_load_addr(buf, idx) {
+        let (val, addr) = match self.global_buf(buf).try_load_addr(idx) {
             Ok(pair) => pair,
             Err(e) => {
                 self.set_fault(e);
@@ -424,7 +640,9 @@ impl LaneCtx<'_, '_> {
             }
         };
         let sector = addr / crate::SECTOR_BYTES;
-        let slot = (sector & self.l1_mask) as usize;
+        // The slice length is a power of two (see `run_block`); indexing
+        // through `len - 1` lets the bounds check fold into the mask.
+        let slot = (sector as usize) & (self.l1.len() - 1);
         if self.l1[slot] == sector {
             self.trace.push(Op::GLoadHit(addr));
         } else {
@@ -466,8 +684,9 @@ impl LaneCtx<'_, '_> {
             }
             // On a bounds error, fall through: try_store reports it.
         }
-        match self.mem.try_store(buf, idx, val) {
-            Ok(()) => self.trace.push(Op::GStore(self.mem.addr_of(buf, idx))),
+        let b = self.global_buf(buf);
+        match b.try_store(idx, val) {
+            Ok(()) => self.trace.push(Op::GStore(b.addr_of(idx))),
             Err(e) => self.set_fault(e),
         }
     }
@@ -483,9 +702,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
-        match self.mem.try_fetch_add(buf, idx, val) {
+        let b = self.global_buf(buf);
+        match b.try_fetch_add(idx, val) {
             Ok(old) => {
-                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                self.trace.push(Op::GAtomic(b.addr_of(idx)));
                 old
             }
             Err(e) => {
@@ -506,9 +726,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
-        match self.mem.try_fetch_or(buf, idx, val) {
+        let b = self.global_buf(buf);
+        match b.try_fetch_or(idx, val) {
             Ok(old) => {
-                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                self.trace.push(Op::GAtomic(b.addr_of(idx)));
                 old
             }
             Err(e) => {
@@ -529,9 +750,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
-        match self.mem.try_fetch_and(buf, idx, val) {
+        let b = self.global_buf(buf);
+        match b.try_fetch_and(idx, val) {
             Ok(old) => {
-                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                self.trace.push(Op::GAtomic(b.addr_of(idx)));
                 old
             }
             Err(e) => {
@@ -552,9 +774,10 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return 0;
         }
-        match self.mem.try_compare_exchange(buf, idx, cur, new) {
+        let b = self.global_buf(buf);
+        match b.try_compare_exchange(idx, cur, new) {
             Ok(old) => {
-                self.trace.push(Op::GAtomic(self.mem.addr_of(buf, idx)));
+                self.trace.push(Op::GAtomic(b.addr_of(idx)));
                 old
             }
             Err(e) => {
@@ -578,7 +801,7 @@ impl LaneCtx<'_, '_> {
         if self.poisoned() {
             return;
         }
-        if let Err(e) = self.mem.try_fetch_add(buf, idx, val) {
+        if let Err(e) = self.global_buf(buf).try_fetch_add(idx, val) {
             self.set_fault(e);
         }
     }
@@ -714,76 +937,89 @@ where
         .max(16)
         .next_power_of_two() as usize;
     let warps = (cfg.block_dim as usize).div_ceil(WARP_SIZE);
-    scratch.reset(
-        cfg.shared_words as usize,
-        cfg.block_dim as usize,
-        warps * l1_slice,
-    );
+    let retained = cfg.retained_trace || dev.config().force_retained_trace;
+    // The fused engine recycles one warp's worth of lane buffers; the
+    // retained engine records the whole block before replaying.
+    let trace_lanes = if retained {
+        cfg.block_dim as usize
+    } else {
+        (cfg.block_dim as usize).min(WARP_SIZE)
+    };
+    scratch.reset(cfg.shared_words as usize, trace_lanes, warps * l1_slice);
     let BlockScratch {
         shared,
         traces,
         l1,
         replay,
     } = scratch;
+    let cost = dev.config().cost;
+    let mut fused;
+    let mut two_pass;
+    let sink: &mut dyn PhaseSink = if retained {
+        two_pass = RetainedSink::new(traces, replay, cost);
+        &mut two_pass
+    } else {
+        fused = FusedSink::new(traces, replay, cost);
+        &mut fused
+    };
     let mut blk = BlockCtx {
         mem,
-        cost: dev.config().cost,
         block_idx,
         block_dim: cfg.block_dim,
         grid_dim: cfg.grid_dim,
         shared,
-        traces,
+        sink,
         race: (cfg.race_detect || dev.config().force_race_detection)
             .then(|| RaceTracker::new(cfg.shared_words as usize)),
         san: (cfg.sanitize || dev.config().force_sanitizer)
             .then(|| SanTracker::new(cfg.shared_words as usize)),
         l1,
         l1_slice,
-        replay,
-        counters: ProfileCounters::default(),
-        cycles: 0,
         fault: None,
     };
     kernel(&mut blk);
     // Flush any trailing un-barriered work (kernel end is a barrier).
     blk.barrier();
+    let (cycles, mut counters) = blk.sink.finish();
     if let Some(t) = &blk.race {
-        blk.counters.race_checks += t.checks;
-        blk.counters.races_detected += t.races;
+        counters.race_checks += t.checks;
+        counters.races_detected += t.races;
     }
     if let Some(t) = &blk.san {
-        blk.counters.sanitizer_checks += t.checks;
-        blk.counters.sanitizer_reports += t.reports;
+        counters.sanitizer_checks += t.checks;
+        counters.sanitizer_reports += t.reports;
     }
     if let Some(err) = blk.fault {
         return Err(err);
     }
-    Ok((blk.cycles, blk.counters))
+    Ok((cycles, counters))
 }
 
 /// A warp holds at most [`WARP_SIZE`] lanes and each lane contributes at
 /// most one address per step, so per-kind address lists fit in fixed
-/// stack arrays — no heap, no sorting, and the O(n²) dedup scans below
-/// stay on 32-entry arrays that live in cache (and usually registers).
-struct LaneAddrs64 {
+/// stack arrays — no heap, and every distinct/conflict pass below runs
+/// on 32-entry arrays that live in cache (and usually registers).
+struct LaneAddrs {
     buf: [u64; WARP_SIZE],
     len: usize,
 }
 
-impl Default for LaneAddrs64 {
+impl Default for LaneAddrs {
     fn default() -> Self {
-        LaneAddrs64 {
+        LaneAddrs {
             buf: [0; WARP_SIZE],
             len: 0,
         }
     }
 }
 
-impl LaneAddrs64 {
+impl LaneAddrs {
     #[inline]
     fn push(&mut self, a: u64) {
         debug_assert!(self.len < WARP_SIZE);
-        self.buf[self.len] = a;
+        // The ≤ 32 invariant above makes the masked index a plain store
+        // with no panic path in the hottest loop of the replay.
+        self.buf[self.len & (WARP_SIZE - 1)] = a;
         self.len += 1;
     }
 
@@ -793,41 +1029,8 @@ impl LaneAddrs64 {
     }
 
     #[inline]
-    fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    #[inline]
-    fn clear(&mut self) {
-        self.len = 0;
-    }
-}
-
-struct LaneAddrs32 {
-    buf: [u32; WARP_SIZE],
-    len: usize,
-}
-
-impl Default for LaneAddrs32 {
-    fn default() -> Self {
-        LaneAddrs32 {
-            buf: [0; WARP_SIZE],
-            len: 0,
-        }
-    }
-}
-
-impl LaneAddrs32 {
-    #[inline]
-    fn push(&mut self, a: u32) {
-        debug_assert!(self.len < WARP_SIZE);
-        self.buf[self.len] = a;
-        self.len += 1;
-    }
-
-    #[inline]
-    fn as_slice(&self) -> &[u32] {
-        &self.buf[..self.len]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        &mut self.buf[..self.len]
     }
 
     #[inline]
@@ -841,48 +1044,44 @@ impl LaneAddrs32 {
     }
 }
 
-/// Scratch for one lockstep step of one warp.
+/// Number of memory-op kinds (= tags `TAG_GLOAD..=TAG_SATOMIC`, which
+/// the trace encoding keeps contiguous from zero exactly so the replay
+/// gather can index a list array by tag).
+const MEM_KINDS: usize = TAG_SATOMIC as usize + 1;
+
+/// `log2(SECTOR_BYTES)`: byte address → 32-byte sector id.
+const SECTOR_SHIFT: u32 = crate::SECTOR_BYTES.trailing_zeros();
+
+/// Per-tag payload shift applied on the way into the step lists: global
+/// loads, load hits and stores coalesce at sector granularity, so their
+/// byte addresses drop to sector ids during the gather and the distinct
+/// passes never re-derive sectors per address. Global atomics keep byte
+/// addresses (collision depth serializes on the exact word); shared
+/// kinds carry word indices.
+const GATHER_SHIFT: [u32; MEM_KINDS] = [SECTOR_SHIFT, SECTOR_SHIFT, SECTOR_SHIFT, 0, 0, 0, 0];
+
+/// Scratch for one lockstep step of one warp: one address list per
+/// memory-op kind, indexed directly by the op's tag bits.
 #[derive(Default)]
 struct StepScratch {
-    /// Global-load misses (addresses that cost DRAM sectors).
-    gload: LaneAddrs64,
-    /// Global-load L1 hits (wavefronts in the request, no DRAM traffic).
-    gload_hits: LaneAddrs64,
-    gstore: LaneAddrs64,
-    gatomic: LaneAddrs64,
-    sload: LaneAddrs32,
-    sstore: LaneAddrs32,
-    satomic: LaneAddrs32,
-}
-
-impl StepScratch {
-    fn clear(&mut self) {
-        self.gload.clear();
-        self.gload_hits.clear();
-        self.gstore.clear();
-        self.gatomic.clear();
-        self.sload.clear();
-        self.sstore.clear();
-        self.satomic.clear();
-    }
+    kind: [LaneAddrs; MEM_KINDS],
 }
 
 /// Replay position of one live lane, carried *inline* in the compacted
 /// lane array so the gather loop touches one cache line per lane instead
 /// of bouncing between a live-index list, a cursor table and the trace
-/// table. `ops` borrows the lane's recorded trace for the duration of one
-/// [`replay_warp`] call.
+/// table. The position is the un-replayed *suffix* of the lane's
+/// recorded trace: advancing is one slice shrink, the head peek is a
+/// `split_first` with no separate cursor to bounds-check against, and
+/// "exhausted" is `is_empty` — this loop runs once per recorded op of
+/// the whole simulation, so every bookkeeping instruction counts.
 #[derive(Clone, Copy, Default)]
 struct LaneState<'a> {
-    /// The lane's recorded ops (never empty while the state is live).
-    ops: &'a [PackedOp],
-    /// Next op to replay.
-    idx: u32,
-    /// Consumed prefix of the compute run at `idx`, when that op is
+    /// The lane's un-replayed ops (never empty while the state is live).
+    rest: &'a [PackedOp],
+    /// Consumed prefix of the compute run at the head, when the head is
     /// `Op::Compute(n)`.
     run_done: u32,
-    /// Original lane number (compaction reorders the array).
-    lane: u32,
 }
 
 /// Reusable state for [`replay_warp`]; lives in the per-worker
@@ -892,68 +1091,212 @@ pub(crate) struct ReplayScratch {
     step: StepScratch,
 }
 
-/// Count distinct 32-byte sectors among the (word) addresses of one warp
-/// load/store slot. ≤ 32 addresses, so a linear seen-scan beats sorting.
+/// Below this many addresses the quadratic seen-scan beats every other
+/// distinct-counting strategy (it degenerates to a handful of compares
+/// that the compiler keeps in registers). Above it, the slot passes
+/// switch to an O(n) bitmap when the addresses are clustered and an
+/// O(n log n) sort when they are scattered — the shape divergent hash
+/// probing produces, where the scan's O(n²) compare storm was the PR 4
+/// regression on Hu and GroupTC.
+const SCAN_MAX: usize = 8;
+
+/// Count distinct 32-byte sectors among the (byte) addresses of one warp
+/// load/store slot (≤ 32 addresses).
 fn count_sectors(addrs: &[u64]) -> u64 {
     count_sectors_split(addrs, &[]).1
 }
 
-/// Seen-scan over the miss and hit halves of one load slot, without
-/// materializing the union: returns `(miss_sectors, total_sectors)` —
-/// distinct sectors among `misses` alone, then distinct sectors across
-/// the concatenation — in a single pass. The scan runs newest-first
-/// because coalesced warps revisit the sector they just recorded.
+/// Distinct values in a sorted slice.
+#[inline]
+fn sorted_distinct(v: &[u64]) -> u64 {
+    let mut count = 0u64;
+    for (i, &s) in v.iter().enumerate() {
+        count += (i == 0 || v[i - 1] != s) as u64;
+    }
+    count
+}
+
+/// Distinct values across the union of two sorted slices (two-pointer
+/// merge; duplicates within and across the slices count once).
+fn sorted_union_distinct(a: &[u64], b: &[u64]) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() || j < b.len() {
+        let v = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!(),
+        };
+        count += 1;
+        while i < a.len() && a[i] == v {
+            i += 1;
+        }
+        while j < b.len() && b[j] == v {
+            j += 1;
+        }
+    }
+    count
+}
+
+/// Byte-address front end for [`distinct_split`]: copies the addresses
+/// into stack arrays as sector ids first. Only the (rare) global-atomic
+/// sector pass and tests come through here; the load/store slot passes
+/// gather sector ids directly and skip the conversion.
 fn count_sectors_split(misses: &[u64], hits: &[u64]) -> (u64, u64) {
     debug_assert!(misses.len() + hits.len() <= WARP_SIZE);
-    let mut seen = [0u64; WARP_SIZE];
-    let mut n = 0usize;
-    'miss: for &addr in misses {
-        let s = addr / crate::SECTOR_BYTES;
-        for &prev in seen[..n].iter().rev() {
-            if prev == s {
-                continue 'miss;
-            }
-        }
-        seen[n] = s;
-        n += 1;
+    let mut ms = [0u64; WARP_SIZE];
+    let mut hs = [0u64; WARP_SIZE];
+    for (slot, &addr) in ms.iter_mut().zip(misses) {
+        *slot = addr >> SECTOR_SHIFT;
     }
-    let miss_sectors = n as u64;
-    'hit: for &addr in hits {
-        let s = addr / crate::SECTOR_BYTES;
-        for &prev in seen[..n].iter().rev() {
-            if prev == s {
-                continue 'hit;
-            }
-        }
-        seen[n] = s;
-        n += 1;
+    for (slot, &addr) in hs.iter_mut().zip(hits) {
+        *slot = addr >> SECTOR_SHIFT;
     }
-    (miss_sectors, n as u64)
+    distinct_split(&mut ms[..misses.len()], &mut hs[..hits.len()])
+}
+
+/// Distinct values over the two halves of one slot's list, without
+/// materializing the union: returns `(distinct(a), distinct(a ∪ b))` —
+/// for a load slot, distinct sectors among the misses alone, then
+/// across the concatenation (the gather already reduced addresses to
+/// sector ids). May reorder both slices.
+///
+/// Adaptive: small slots use a newest-first seen-scan (coalesced warps
+/// revisit the sector they just recorded); larger slots whose values
+/// cluster within a 64-wide window dedup through a pair of u64 bitmaps;
+/// scattered slots (divergent hash probes, binary-search hops) sort in
+/// place and merge. All three count the same distinct sets, so the
+/// choice is invisible in the counters.
+fn distinct_split(a: &mut [u64], b: &mut [u64]) -> (u64, u64) {
+    let n = a.len() + b.len();
+    debug_assert!(n <= WARP_SIZE);
+    if n <= SCAN_MAX {
+        let mut seen = [0u64; SCAN_MAX];
+        let mut k = 0usize;
+        'a: for &v in a.iter() {
+            for &prev in seen[..k].iter().rev() {
+                if prev == v {
+                    continue 'a;
+                }
+            }
+            seen[k] = v;
+            k += 1;
+        }
+        let da = k as u64;
+        'b: for &v in b.iter() {
+            for &prev in seen[..k].iter().rev() {
+                if prev == v {
+                    continue 'b;
+                }
+            }
+            seen[k] = v;
+            k += 1;
+        }
+        return (da, k as u64);
+    }
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for &v in a.iter().chain(b.iter()) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi - lo < u64::BITS as u64 {
+        let mut mask_a = 0u64;
+        for &v in a.iter() {
+            mask_a |= 1 << (v - lo);
+        }
+        let mut mask_all = mask_a;
+        for &v in b.iter() {
+            mask_all |= 1 << (v - lo);
+        }
+        return (mask_a.count_ones() as u64, mask_all.count_ones() as u64);
+    }
+    a.sort_unstable();
+    b.sort_unstable();
+    (sorted_distinct(a), sorted_union_distinct(a, b))
 }
 
 /// Worst-case same-address collision depth (atomics serialize on address).
-fn max_same_addr_depth<T: PartialEq + Copy>(addrs: &[T]) -> u64 {
-    let mut best = 0u64;
-    for (i, &a) in addrs.iter().enumerate() {
-        if addrs[..i].contains(&a) {
-            continue; // depth already counted at its first occurrence
+fn max_same_addr_depth<T: PartialEq + Ord + Copy + Default>(addrs: &[T]) -> u64 {
+    let n = addrs.len();
+    debug_assert!(n <= WARP_SIZE);
+    if n <= SCAN_MAX {
+        let mut best = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            if addrs[..i].contains(&a) {
+                continue; // depth already counted at its first occurrence
+            }
+            let depth = addrs[i..].iter().filter(|&&x| x == a).count() as u64;
+            best = best.max(depth);
         }
-        let depth = addrs[i..].iter().filter(|&&x| x == a).count() as u64;
-        best = best.max(depth);
+        return best;
+    }
+    // Scattered atomics: sort, then the deepest collision is the longest
+    // equal run.
+    let mut buf = [T::default(); WARP_SIZE];
+    buf[..n].copy_from_slice(addrs);
+    let buf = &mut buf[..n];
+    buf.sort_unstable();
+    let mut best = 1u64;
+    let mut run = 1u64;
+    for i in 1..n {
+        if buf[i] == buf[i - 1] {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 1;
+        }
     }
     best
 }
 
 /// Shared-memory bank-conflict ways: accesses to the same word broadcast,
-/// accesses to distinct words in the same bank serialize.
-fn bank_conflict_ways(addrs: &[u32]) -> u64 {
+/// accesses to distinct words in the same bank serialize. Adaptive like
+/// [`count_sectors_split`]: seen-scan below [`SCAN_MAX`], bitmap dedup
+/// for clustered indices, sort for scattered ones.
+fn bank_conflict_ways(addrs: &mut [u64]) -> u64 {
+    let n = addrs.len();
+    debug_assert!(n <= WARP_SIZE);
     let mut per_bank = [0u8; SHARED_BANKS];
     let mut ways = 1u64;
-    for (i, &a) in addrs.iter().enumerate() {
-        if addrs[..i].contains(&a) {
+    if n <= SCAN_MAX {
+        for i in 0..n {
+            let a = addrs[i];
+            if addrs[..i].contains(&a) {
+                continue; // duplicate word: broadcast, not a conflict
+            }
+            let bank = (a as usize) % SHARED_BANKS;
+            per_bank[bank] += 1;
+            ways = ways.max(per_bank[bank] as u64);
+        }
+        return ways;
+    }
+    let mut lo = addrs[0];
+    let mut hi = addrs[0];
+    for &a in &addrs[1..] {
+        lo = lo.min(a);
+        hi = hi.max(a);
+    }
+    if hi - lo < u64::BITS as u64 {
+        let mut mask = 0u64;
+        for &a in addrs.iter() {
+            mask |= 1 << (a - lo);
+        }
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as u64;
+            mask &= mask - 1;
+            let bank = ((lo + bit) as usize) % SHARED_BANKS;
+            per_bank[bank] += 1;
+            ways = ways.max(per_bank[bank] as u64);
+        }
+        return ways;
+    }
+    addrs.sort_unstable();
+    for i in 0..n {
+        if i > 0 && addrs[i] == addrs[i - 1] {
             continue; // duplicate word: broadcast, not a conflict
         }
-        let bank = (a as usize) % SHARED_BANKS;
+        let bank = (addrs[i] as usize) % SHARED_BANKS;
         per_bank[bank] += 1;
         ways = ways.max(per_bank[bank] as u64);
     }
@@ -999,13 +1342,11 @@ fn replay_warp(
     // order-independent.
     let mut lanes: [LaneState<'_>; WARP_SIZE] = [LaneState::default(); WARP_SIZE];
     let mut n_live = 0usize;
-    for (lane, t) in traces.iter().enumerate() {
+    for t in traces.iter() {
         if !t.is_empty() {
             lanes[n_live] = LaneState {
-                ops: &t.ops,
-                idx: 0,
+                rest: &t.ops,
                 run_done: 0,
-                lane: lane as u32,
             };
             n_live += 1;
         }
@@ -1021,64 +1362,147 @@ fn replay_warp(
     // such re-matched waiters.
     let mut n_active = n_live;
     loop {
-        step.clear();
-        let mut compute_lanes = 0u64;
-        // Which lanes were *at* a compute head during this gather pass.
-        // The consume pass below must not re-read heads: a lane whose
-        // memory op issued this step already advanced onto its next op,
-        // and consuming that op here would skip it without counting it.
-        let mut compute_mask = 0u32;
+        // Single-active-lane drain: one long divergent tail (a lane
+        // merging alone while its siblings sit finished or parked at a
+        // marker — the dominant late-replay shape in triangle counting)
+        // needs no gather, no slot lists and no distinct-count passes:
+        // every slot carries exactly one address, so each pass is
+        // trivially distinct=1 / ways=1 / depth=1 and the general
+        // path's per-op cost is applied directly. Bit-identical by
+        // construction — each arm below is the general path specialized
+        // to one lane.
+        while n_active == 1 {
+            let st = &mut lanes[0];
+            // Live-lane invariant: `rest` is non-empty.
+            match st.rest[0].unpack() {
+                Op::Converge => {
+                    if n_live > 1 {
+                        // Siblings are parked at markers: fall through
+                        // to the general loop, which parks this lane
+                        // and re-aligns them all.
+                        break;
+                    }
+                    // A lone lane's marker re-aligns nothing: free.
+                    st.rest = &st.rest[1..];
+                }
+                Op::Compute(n) => {
+                    debug_assert!(n > st.run_done, "Compute(n) invariant: n >= 1");
+                    let m = (n - st.run_done) as u64;
+                    counters.issued_slots += m;
+                    counters.active_thread_slots += m;
+                    counters.compute_slots += m;
+                    cycles += m * cost.compute;
+                    st.run_done = 0;
+                    st.rest = &st.rest[1..];
+                }
+                op => {
+                    counters.issued_slots += 1;
+                    counters.active_thread_slots += 1;
+                    match op {
+                        Op::GLoad(_) => {
+                            counters.global_load_requests += 1;
+                            counters.gld_transactions += 1;
+                            counters.dram_load_sectors += 1;
+                            cycles += cost.global_load_slot(1, 1);
+                        }
+                        Op::GLoadHit(_) => {
+                            counters.global_load_requests += 1;
+                            counters.gld_transactions += 1;
+                            cycles += cost.global_load_slot(1, 0);
+                        }
+                        Op::GStore(_) => {
+                            counters.global_store_requests += 1;
+                            counters.gst_transactions += 1;
+                            cycles += cost.global_slot(1);
+                        }
+                        Op::GAtomic(_) => {
+                            counters.global_atomic_requests += 1;
+                            counters.dram_atomic_sectors += 1;
+                            cycles += cost.global_atomic_slot(1);
+                        }
+                        Op::SLoad(_) => {
+                            counters.shared_load_requests += 1;
+                            cycles += cost.shared_slot(1);
+                        }
+                        Op::SStore(_) => {
+                            counters.shared_store_requests += 1;
+                            cycles += cost.shared_slot(1);
+                        }
+                        Op::SAtomic(_) => {
+                            counters.shared_atomic_requests += 1;
+                            cycles += cost.shared_atomic_slot(1);
+                        }
+                        Op::Compute(_) | Op::Converge => unreachable!(),
+                    }
+                    st.rest = &st.rest[1..];
+                }
+            }
+            if st.rest.is_empty() {
+                // Retire exactly like the general path's swap dance.
+                n_active -= 1;
+                lanes.swap(0, n_active);
+                n_live -= 1;
+                lanes.swap(n_active, n_live);
+                break;
+            }
+        }
+        // One lockstep step. The gather dispatches on raw tag bits:
+        // every memory kind funnels through a single push into its
+        // tag-indexed list (one code path instead of seven), compute
+        // heads are noted in a compact position list consumed after the
+        // slot passes, and converge heads park their lane.
+        let mut kinds: u32 = 0;
+        // Positions (and remaining run lengths) of the lanes that were
+        // *at* a compute head during this gather pass. The consume pass
+        // below must not re-read heads: a lane whose memory op issued
+        // this step already advanced onto its next op, and consuming
+        // that op here would skip it without counting it. Gather-time
+        // positions stay valid: compute positions are strictly
+        // ascending and every swap in this loop touches only positions
+        // at or past the cursor, which is already beyond them.
+        let mut comp_pos = [0u8; WARP_SIZE];
+        let mut comp_rem = [0u32; WARP_SIZE];
+        let mut n_comp = 0usize;
         let mut min_run = u32::MAX;
         let mut i = 0;
         while i < n_active {
             let st = &mut lanes[i];
-            // Live-array invariant: `st.idx` is in bounds.
-            let op = st.ops[st.idx as usize].unpack();
-            match op {
-                Op::Converge => {
-                    // Stalls until every active lane reaches a marker;
-                    // the cursor advances at re-align.
+            // Live-array invariant: `rest` is non-empty.
+            let w = st.rest[0].word();
+            let tag = (w & 0xf) as usize;
+            if tag < MEM_KINDS {
+                step.kind[tag].push((w >> 4) >> GATHER_SHIFT[tag]);
+                kinds |= 1 << tag;
+                st.rest = &st.rest[1..];
+                if st.rest.is_empty() {
+                    // Retire: swap out of the active region, then out of
+                    // the parked region, preserving both partitions.
                     n_active -= 1;
                     lanes.swap(i, n_active);
-                    continue;
+                    n_live -= 1;
+                    lanes.swap(n_active, n_live);
+                } else {
+                    i += 1;
                 }
-                Op::Compute(n) => {
-                    debug_assert!(n > st.run_done, "Compute(n) invariant: n >= 1");
-                    compute_lanes += 1;
-                    compute_mask |= 1 << st.lane;
-                    min_run = min_run.min(n - st.run_done);
-                    i += 1; // cursor advances after batching below
-                    continue;
-                }
-                Op::GLoad(a) => step.gload.push(a),
-                Op::GLoadHit(a) => step.gload_hits.push(a),
-                Op::GStore(a) => step.gstore.push(a),
-                Op::GAtomic(a) => step.gatomic.push(a),
-                Op::SLoad(a) => step.sload.push(a),
-                Op::SStore(a) => step.sstore.push(a),
-                Op::SAtomic(a) => step.satomic.push(a),
-            }
-            st.idx += 1;
-            let exhausted = st.idx as usize == st.ops.len();
-            if exhausted {
-                // Retire: swap out of the active region, then out of the
-                // parked region, preserving both partitions.
+            } else if tag as u64 == TAG_COMPUTE {
+                let n = (w >> 4) as u32;
+                debug_assert!(n > st.run_done, "Compute(n) invariant: n >= 1");
+                let rem = n - st.run_done;
+                comp_pos[n_comp] = i as u8;
+                comp_rem[n_comp] = rem;
+                n_comp += 1;
+                min_run = min_run.min(rem);
+                i += 1; // cursor advances after batching below
+            } else {
+                debug_assert_eq!(tag as u64, TAG_CONVERGE);
+                // Stalls until every active lane reaches a marker; the
+                // cursor advances at re-align.
                 n_active -= 1;
                 lanes.swap(i, n_active);
-                n_live -= 1;
-                lanes.swap(n_active, n_live);
-            } else {
-                i += 1;
             }
         }
-        let memory_issued = !step.gload.is_empty()
-            || !step.gload_hits.is_empty()
-            || !step.gstore.is_empty()
-            || !step.gatomic.is_empty()
-            || !step.sload.is_empty()
-            || !step.sstore.is_empty()
-            || !step.satomic.is_empty();
-        if !memory_issued && compute_lanes == 0 {
+        let memory_issued = kinds != 0;
+        if !memory_issued && n_comp == 0 {
             if n_live > 0 {
                 // Every unfinished lane is parked at a marker: consume
                 // them all and re-align.
@@ -1086,9 +1510,9 @@ fn replay_warp(
                 let mut i = 0;
                 while i < n_live {
                     let st = &mut lanes[i];
-                    debug_assert!(matches!(st.ops[st.idx as usize].unpack(), Op::Converge));
-                    st.idx += 1;
-                    if st.idx as usize == st.ops.len() {
+                    debug_assert!(matches!(st.rest[0].unpack(), Op::Converge));
+                    st.rest = &st.rest[1..];
+                    if st.rest.is_empty() {
                         n_live -= 1;
                         lanes.swap(i, n_live);
                     } else {
@@ -1104,85 +1528,87 @@ fn replay_warp(
             counters.issued_slots += 1;
             counters.active_thread_slots += active;
         };
-        if !step.gload.is_empty() || !step.gload_hits.is_empty() {
-            issue((step.gload.len + step.gload_hits.len) as u64);
+        let [gl, gh, gs, ga, sl, ss, sa] = &mut step.kind;
+        if !gl.is_empty() || !gh.is_empty() {
+            issue((gl.len + gh.len) as u64);
             // nvprof's gld_transactions counts wavefronts (distinct
             // sectors addressed) regardless of cache hits; the DRAM floor
             // charges only the miss half. One fused scan yields both.
             let (miss_sectors, total_sectors) =
-                count_sectors_split(step.gload.as_slice(), step.gload_hits.as_slice());
+                distinct_split(gl.as_mut_slice(), gh.as_mut_slice());
             counters.global_load_requests += 1;
             counters.gld_transactions += total_sectors;
             counters.dram_load_sectors += miss_sectors;
             cycles += cost.global_load_slot(total_sectors, miss_sectors);
         }
-        if !step.gstore.is_empty() {
-            issue(step.gstore.len as u64);
-            let sectors = count_sectors(step.gstore.as_slice());
+        if !gs.is_empty() {
+            issue(gs.len as u64);
+            let sectors = distinct_split(gs.as_mut_slice(), &mut []).1;
             counters.global_store_requests += 1;
             counters.gst_transactions += sectors;
             cycles += cost.global_slot(sectors);
         }
-        if !step.gatomic.is_empty() {
-            issue(step.gatomic.len as u64);
-            let depth = max_same_addr_depth(step.gatomic.as_slice());
+        if !ga.is_empty() {
+            issue(ga.len as u64);
+            let depth = max_same_addr_depth(ga.as_slice());
             counters.global_atomic_requests += 1;
             // Atomics are resolved in L2 but still move their sectors
             // over DRAM; distinct 32-byte sectors feed the launch-level
             // bandwidth floor alongside load and store traffic.
-            counters.dram_atomic_sectors += count_sectors(step.gatomic.as_slice());
+            counters.dram_atomic_sectors += count_sectors(ga.as_slice());
             cycles += cost.global_atomic_slot(depth);
         }
-        if !step.sload.is_empty() {
-            issue(step.sload.len as u64);
-            let ways = bank_conflict_ways(step.sload.as_slice());
+        if !sl.is_empty() {
+            issue(sl.len as u64);
+            let ways = bank_conflict_ways(sl.as_mut_slice());
             counters.shared_load_requests += 1;
             cycles += cost.shared_slot(ways);
         }
-        if !step.sstore.is_empty() {
-            issue(step.sstore.len as u64);
-            let ways = bank_conflict_ways(step.sstore.as_slice());
+        if !ss.is_empty() {
+            issue(ss.len as u64);
+            let ways = bank_conflict_ways(ss.as_mut_slice());
             counters.shared_store_requests += 1;
             cycles += cost.shared_slot(ways);
         }
-        if !step.satomic.is_empty() {
-            issue(step.satomic.len as u64);
-            let depth = max_same_addr_depth(step.satomic.as_slice());
+        if !sa.is_empty() {
+            issue(sa.len as u64);
+            let depth = max_same_addr_depth(sa.as_slice());
             counters.shared_atomic_requests += 1;
             cycles += cost.shared_atomic_slot(depth);
         }
-        if compute_lanes > 0 {
+        // Reset only the lists this step touched.
+        let mut used = kinds;
+        while used != 0 {
+            step.kind[used.trailing_zeros() as usize].clear();
+            used &= used - 1;
+        }
+        if n_comp > 0 {
             let m = if memory_issued { 1 } else { min_run as u64 };
             counters.issued_slots += m;
-            counters.active_thread_slots += m * compute_lanes;
+            counters.active_thread_slots += m * n_comp as u64;
             counters.compute_slots += m;
             cycles += m * cost.compute;
             let m32 = m as u32;
-            let mut i = 0;
-            while i < n_active {
-                let st = &mut lanes[i];
-                if compute_mask & (1 << st.lane) == 0 {
-                    i += 1;
-                    continue;
-                }
-                let Op::Compute(n) = st.ops[st.idx as usize].unpack() else {
-                    unreachable!("compute_mask lane must still head a Compute run");
-                };
-                st.run_done += m32;
-                debug_assert!(st.run_done <= n);
-                if st.run_done == n {
-                    st.idx += 1;
+            // Descending, so a retire's swaps (which touch positions at
+            // or past the retiring one) never move a lane an earlier
+            // list entry still points at.
+            for j in (0..n_comp).rev() {
+                let p = comp_pos[j] as usize;
+                let st = &mut lanes[p];
+                if comp_rem[j] == m32 {
+                    // Batch consumed the rest of the run.
                     st.run_done = 0;
-                    let exhausted = st.idx as usize == st.ops.len();
-                    if exhausted {
+                    st.rest = &st.rest[1..];
+                    if st.rest.is_empty() {
                         n_active -= 1;
-                        lanes.swap(i, n_active);
+                        lanes.swap(p, n_active);
                         n_live -= 1;
                         lanes.swap(n_active, n_live);
-                        continue;
                     }
+                } else {
+                    debug_assert!(comp_rem[j] > m32);
+                    st.run_done += m32;
                 }
-                i += 1;
             }
         }
     }
@@ -1252,14 +1678,14 @@ mod tests {
     #[test]
     fn bank_conflicts() {
         // Stride-1: each lane its own bank.
-        let s: Vec<u32> = (0..32).collect();
-        assert_eq!(bank_conflict_ways(&s), 1);
+        let mut s: Vec<u64> = (0..32).collect();
+        assert_eq!(bank_conflict_ways(&mut s), 1);
         // Stride-32: all lanes in bank 0 -> 32-way conflict.
-        let c: Vec<u32> = (0..32).map(|i| i * 32).collect();
-        assert_eq!(bank_conflict_ways(&c), 32);
+        let mut c: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflict_ways(&mut c), 32);
         // Same word everywhere: broadcast, no conflict.
-        let b: Vec<u32> = vec![7; 32];
-        assert_eq!(bank_conflict_ways(&b), 1);
+        let mut b: Vec<u64> = vec![7; 32];
+        assert_eq!(bank_conflict_ways(&mut b), 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub struct BufId(pub(crate) usize);
 /// on still gets a reproducible (and conspicuous) value.
 const UNINIT_PATTERN: u32 = 0xDEAD_BEEF;
 
-struct Buffer {
+pub(crate) struct Buffer {
     /// Byte address of the first word in the flat device address space.
     base: u64,
     /// Words charged against device capacity: the requested length rounded
@@ -31,6 +31,13 @@ struct Buffer {
     shadow: Option<Vec<AtomicBool>>,
 }
 
+/// The lane-facing word accessors live on `Buffer` rather than
+/// [`DeviceMem`] so the record path can resolve a [`BufId`] to its
+/// buffer once (`DeviceMem::buffer`) and keep the reference in a
+/// per-lane cache — consecutive accesses to the same buffer, which is
+/// the overwhelmingly common pattern in a scan or probe loop, then skip
+/// the buffer-table chase entirely. The `DeviceMem::try_*` methods are
+/// thin delegating wrappers.
 impl Buffer {
     #[inline]
     fn mark_init(&self, idx: usize) {
@@ -39,6 +46,96 @@ impl Buffer {
                 s.store(true, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Out-of-bounds error construction, outlined and cold: the fault
+    /// path allocates (it clones the buffer name), and keeping that code
+    /// out of the inlined accessors is worth several percent on the
+    /// record side of a sweep.
+    #[cold]
+    #[inline(never)]
+    fn oob(&self, idx: usize) -> SimError {
+        SimError::MemoryFault {
+            buffer: self.name.clone(),
+            index: idx,
+            len: self.data.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn addr_of(&self, idx: usize) -> u64 {
+        self.base + (idx as u64) * 4
+    }
+
+    #[inline]
+    fn try_word(&self, idx: usize) -> Result<&AtomicU32, SimError> {
+        match self.data.get(idx) {
+            Some(w) => Ok(w),
+            None => Err(self.oob(idx)),
+        }
+    }
+
+    /// Load a word and return it together with its flat device address.
+    /// One bounds check and no table lookup — this sits on the hottest
+    /// path of the simulator (every `ld_global` of every lane).
+    #[inline]
+    pub(crate) fn try_load_addr(&self, idx: usize) -> Result<(u32, u64), SimError> {
+        match self.data.get(idx) {
+            Some(w) => Ok((w.load(Ordering::Relaxed), self.addr_of(idx))),
+            None => Err(self.oob(idx)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn try_load(&self, idx: usize) -> Result<u32, SimError> {
+        Ok(self.try_word(idx)?.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn try_store(&self, idx: usize, val: u32) -> Result<(), SimError> {
+        self.try_word(idx)?.store(val, Ordering::Relaxed);
+        self.mark_init(idx);
+        Ok(())
+    }
+
+    #[inline]
+    pub(crate) fn try_fetch_add(&self, idx: usize, val: u32) -> Result<u32, SimError> {
+        let old = self.try_word(idx)?.fetch_add(val, Ordering::Relaxed);
+        self.mark_init(idx);
+        Ok(old)
+    }
+
+    #[inline]
+    pub(crate) fn try_fetch_or(&self, idx: usize, val: u32) -> Result<u32, SimError> {
+        let old = self.try_word(idx)?.fetch_or(val, Ordering::Relaxed);
+        self.mark_init(idx);
+        Ok(old)
+    }
+
+    #[inline]
+    pub(crate) fn try_fetch_and(&self, idx: usize, val: u32) -> Result<u32, SimError> {
+        let old = self.try_word(idx)?.fetch_and(val, Ordering::Relaxed);
+        self.mark_init(idx);
+        Ok(old)
+    }
+
+    #[inline]
+    pub(crate) fn try_compare_exchange(
+        &self,
+        idx: usize,
+        cur: u32,
+        new: u32,
+    ) -> Result<u32, SimError> {
+        let old = match self.try_word(idx)?.compare_exchange(
+            cur,
+            new,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(old) | Err(old) => old,
+        };
+        self.mark_init(idx);
+        Ok(old)
     }
 }
 
@@ -324,7 +421,15 @@ impl DeviceMem {
 
     #[inline]
     pub(crate) fn addr_of(&self, id: BufId, idx: usize) -> u64 {
-        self.buffers[id.0].base + (idx as u64) * 4
+        self.buffers[id.0].addr_of(idx)
+    }
+
+    /// Resolve a handle to its buffer. The record path caches the
+    /// returned reference per lane (sound: every lane holds `&DeviceMem`
+    /// for the whole launch, so the buffer table cannot change under it).
+    #[inline]
+    pub(crate) fn buffer(&self, id: BufId) -> &Buffer {
+        &self.buffers[id.0]
     }
 
     /// Host-side word access: out of bounds is a harness bug, so it
@@ -344,69 +449,40 @@ impl DeviceMem {
         }
     }
 
-    /// Lane-side word access: out of bounds is attributed to the kernel
-    /// under test and surfaces as [`SimError::MemoryFault`] so the run
-    /// can be recorded as failed without aborting the process.
-    #[inline]
-    pub(crate) fn try_word(&self, id: BufId, idx: usize) -> Result<&AtomicU32, SimError> {
-        let buf = &self.buffers[id.0];
-        buf.data.get(idx).ok_or_else(|| SimError::MemoryFault {
-            buffer: buf.name.clone(),
-            index: idx,
-            len: buf.data.len(),
-        })
-    }
-
     #[inline]
     pub(crate) fn try_load(&self, id: BufId, idx: usize) -> Result<u32, SimError> {
-        Ok(self.try_word(id, idx)?.load(Ordering::Relaxed))
+        self.buffers[id.0].try_load(idx)
     }
 
-    /// Load a word and return it together with its flat device address.
-    /// One buffer-table lookup instead of the `try_load` + `addr_of`
-    /// pair — this sits on the hottest path of the simulator (every
-    /// `ld_global` of every lane).
-    #[inline]
-    pub(crate) fn try_load_addr(&self, id: BufId, idx: usize) -> Result<(u32, u64), SimError> {
-        let buf = &self.buffers[id.0];
-        match buf.data.get(idx) {
-            Some(w) => Ok((w.load(Ordering::Relaxed), buf.base + (idx as u64) * 4)),
-            None => Err(SimError::MemoryFault {
-                buffer: buf.name.clone(),
-                index: idx,
-                len: buf.data.len(),
-            }),
-        }
-    }
+    // Handle-keyed convenience wrappers for the buffer accessors above;
+    // the lane path resolves the handle once via [`DeviceMem::buffer`]
+    // instead, so only tests go through these.
 
+    #[cfg(test)]
     #[inline]
     pub(crate) fn try_store(&self, id: BufId, idx: usize, val: u32) -> Result<(), SimError> {
-        self.try_word(id, idx)?.store(val, Ordering::Relaxed);
-        self.buffers[id.0].mark_init(idx);
-        Ok(())
+        self.buffers[id.0].try_store(idx, val)
     }
 
+    #[cfg(test)]
     #[inline]
     pub(crate) fn try_fetch_add(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
-        let old = self.try_word(id, idx)?.fetch_add(val, Ordering::Relaxed);
-        self.buffers[id.0].mark_init(idx);
-        Ok(old)
+        self.buffers[id.0].try_fetch_add(idx, val)
     }
 
+    #[cfg(test)]
     #[inline]
     pub(crate) fn try_fetch_or(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
-        let old = self.try_word(id, idx)?.fetch_or(val, Ordering::Relaxed);
-        self.buffers[id.0].mark_init(idx);
-        Ok(old)
+        self.buffers[id.0].try_fetch_or(idx, val)
     }
 
+    #[cfg(test)]
     #[inline]
     pub(crate) fn try_fetch_and(&self, id: BufId, idx: usize, val: u32) -> Result<u32, SimError> {
-        let old = self.try_word(id, idx)?.fetch_and(val, Ordering::Relaxed);
-        self.buffers[id.0].mark_init(idx);
-        Ok(old)
+        self.buffers[id.0].try_fetch_and(idx, val)
     }
 
+    #[cfg(test)]
     #[inline]
     pub(crate) fn try_compare_exchange(
         &self,
@@ -415,16 +491,7 @@ impl DeviceMem {
         cur: u32,
         new: u32,
     ) -> Result<u32, SimError> {
-        let old = match self.try_word(id, idx)?.compare_exchange(
-            cur,
-            new,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
-            Ok(old) | Err(old) => old,
-        };
-        self.buffers[id.0].mark_init(idx);
-        Ok(old)
+        self.buffers[id.0].try_compare_exchange(idx, cur, new)
     }
 
     #[cfg(test)]

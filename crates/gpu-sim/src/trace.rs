@@ -45,15 +45,19 @@ pub enum Op {
     Converge,
 }
 
-const TAG_GLOAD: u64 = 0;
-const TAG_GLOAD_HIT: u64 = 1;
-const TAG_GSTORE: u64 = 2;
-const TAG_GATOMIC: u64 = 3;
-const TAG_SLOAD: u64 = 4;
-const TAG_SSTORE: u64 = 5;
-const TAG_SATOMIC: u64 = 6;
-const TAG_COMPUTE: u64 = 7;
-const TAG_CONVERGE: u64 = 8;
+// Tag order is load-bearing: the replay gather loop treats every tag
+// below `TAG_COMPUTE` as a memory op and uses the tag directly as the
+// index of its per-kind address list, so the seven memory kinds must
+// stay contiguous from zero.
+pub(crate) const TAG_GLOAD: u64 = 0;
+pub(crate) const TAG_GLOAD_HIT: u64 = 1;
+pub(crate) const TAG_GSTORE: u64 = 2;
+pub(crate) const TAG_GATOMIC: u64 = 3;
+pub(crate) const TAG_SLOAD: u64 = 4;
+pub(crate) const TAG_SSTORE: u64 = 5;
+pub(crate) const TAG_SATOMIC: u64 = 6;
+pub(crate) const TAG_COMPUTE: u64 = 7;
+pub(crate) const TAG_CONVERGE: u64 = 8;
 
 /// One trace word: `payload << 4 | tag`. 60 payload bits hold any
 /// simulated device address (device memory is orders of magnitude
@@ -79,6 +83,14 @@ impl PackedOp {
         };
         debug_assert!(payload < 1 << 60, "address beyond the packed range");
         PackedOp(payload << 4 | tag)
+    }
+
+    /// The raw packed word (`payload << 4 | tag`). The replay gather
+    /// loop dispatches on the tag bits and shifts the payload in place
+    /// rather than materializing an [`Op`] per trace word.
+    #[inline]
+    pub(crate) fn word(self) -> u64 {
+        self.0
     }
 
     #[inline]

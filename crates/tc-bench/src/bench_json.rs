@@ -419,6 +419,125 @@ pub fn validate(text: &str) -> Result<usize, String> {
     Ok(records.len())
 }
 
+// ---------------------------------------------------------------------
+// Baseline comparison (the CI regression gate).
+// ---------------------------------------------------------------------
+
+/// Result of regressing a fresh sweep against a committed baseline file.
+///
+/// `failures` is what CI gates on; `advisories` is context a human reads
+/// when triaging (wall-clock drift, cells with no baseline counterpart).
+#[derive(Debug, Default)]
+pub struct BaselineReport {
+    /// Hard failures: kernel-cycle regressions beyond the tolerance band,
+    /// or a cell that was a verified `ok` in the baseline but failed now.
+    pub failures: Vec<String>,
+    /// Informational findings that must not fail the build: wall-clock
+    /// drift (host timing is noisy on shared runners), cycle *drops*
+    /// (an intentional model change should refresh the baseline), and
+    /// cells missing on either side.
+    pub advisories: Vec<String>,
+    /// Number of (algorithm × dataset) cells present on both sides.
+    pub compared: usize,
+}
+
+impl BaselineReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare a fresh sweep's cells against a committed `BENCH_sim.json`.
+///
+/// Modelled `kernel_cycles` are deterministic, so for every cell present
+/// in both runs the current value may exceed the baseline by at most
+/// `tolerance` (0.25 = +25%) before the comparison **fails** — the band
+/// absorbs intentional small cost-model recalibrations while catching
+/// the "accidentally made every kernel slower" class of regression.
+/// Cycle *decreases* and host wall-clock drift of any size are reported
+/// as advisories only. Baseline cells absent from the current run are
+/// ignored (a smoke run may sweep a subset of the baseline matrix), but
+/// at least one cell must overlap or the comparison is an error.
+pub fn compare_to_baseline(
+    baseline_text: &str,
+    cells: &[BenchCell],
+    tolerance: f64,
+) -> Result<BaselineReport, String> {
+    validate(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let doc = parse(baseline_text)?;
+    let records = doc.get("records").and_then(Json::as_arr).unwrap_or(&[]);
+
+    let mut report = BaselineReport::default();
+    for cell in cells {
+        let base = records.iter().find(|r| {
+            r.get("algorithm").and_then(Json::as_str) == Some(cell.algorithm.as_str())
+                && r.get("dataset").and_then(Json::as_str) == Some(cell.dataset.as_str())
+        });
+        let label = format!("{} / {}", cell.algorithm, cell.dataset);
+        let Some(base) = base else {
+            report
+                .advisories
+                .push(format!("{label}: no baseline cell (new coverage?)"));
+            continue;
+        };
+        report.compared += 1;
+
+        let base_outcome = base.get("outcome").and_then(Json::as_str).unwrap_or("");
+        if base_outcome == "ok" && cell.outcome != "ok" {
+            report
+                .failures
+                .push(format!("{label}: baseline ran ok but this sweep failed"));
+            continue;
+        }
+
+        let base_cycles = base
+            .get("kernel_cycles")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if base_cycles > 0.0 {
+            let ratio = cell.kernel_cycles as f64 / base_cycles;
+            if ratio > 1.0 + tolerance {
+                report.failures.push(format!(
+                    "{label}: kernel_cycles {} vs baseline {} ({:+.1}% > +{:.0}% band)",
+                    cell.kernel_cycles,
+                    base_cycles as u64,
+                    (ratio - 1.0) * 100.0,
+                    tolerance * 100.0,
+                ));
+            } else if cell.kernel_cycles as f64 != base_cycles {
+                report.advisories.push(format!(
+                    "{label}: kernel_cycles {} vs baseline {} ({:+.1}%, within band) \
+                     — refresh BENCH_sim.json if the model change is intentional",
+                    cell.kernel_cycles,
+                    base_cycles as u64,
+                    (ratio - 1.0) * 100.0,
+                ));
+            }
+        }
+
+        let base_wall = base.get("wall_ms").and_then(Json::as_num).unwrap_or(0.0);
+        if base_wall > 0.0 && cell.wall_ms > 0.0 {
+            let ratio = cell.wall_ms / base_wall;
+            if (ratio - 1.0).abs() > 0.10 {
+                report.advisories.push(format!(
+                    "{label}: wall {:.1} ms vs baseline {:.1} ms ({:+.0}%, advisory — \
+                     host timing is machine-dependent)",
+                    cell.wall_ms,
+                    base_wall,
+                    (ratio - 1.0) * 100.0,
+                ));
+            }
+        }
+    }
+    if report.compared == 0 {
+        return Err(
+            "no (algorithm × dataset) cell overlaps the baseline — nothing to regress against"
+                .to_string(),
+        );
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +599,66 @@ mod tests {
             Some("we\"ird\\name")
         );
         assert_eq!(rec.get("dataset").unwrap().as_str(), Some("line\nbreak"));
+    }
+
+    fn baseline_text() -> String {
+        let mut base = cell("Polak", 10.0);
+        base.kernel_cycles = 1000;
+        render("V100", 3, 10.0, &[base])
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_band_and_flags_drift() {
+        let mut c = cell("Polak", 10.5);
+        c.kernel_cycles = 1100; // +10%: inside the +25% band
+        let report = compare_to_baseline(&baseline_text(), &[c], 0.25).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.compared, 1);
+        // In-band drift of a deterministic counter is still surfaced.
+        assert!(report.advisories.iter().any(|a| a.contains("within band")));
+    }
+
+    #[test]
+    fn baseline_gate_fails_on_cycle_regression_beyond_band() {
+        let mut c = cell("Polak", 10.0);
+        c.kernel_cycles = 1300; // +30%: outside the +25% band
+        let report = compare_to_baseline(&baseline_text(), &[c], 0.25).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("kernel_cycles"));
+    }
+
+    #[test]
+    fn baseline_gate_treats_improvements_and_wall_drift_as_advisory() {
+        let mut c = cell("Polak", 30.0); // 3x the baseline wall: advisory only
+        c.kernel_cycles = 500; // 2x faster: advisory only
+        let report = compare_to_baseline(&baseline_text(), &[c], 0.25).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report.advisories.iter().any(|a| a.contains("wall")));
+    }
+
+    #[test]
+    fn baseline_gate_fails_when_an_ok_cell_starts_failing() {
+        let mut c = cell("Polak", 10.0);
+        c.outcome = "failed";
+        c.kernel_cycles = 0;
+        let report = compare_to_baseline(&baseline_text(), &[c], 0.25).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("failed"));
+    }
+
+    #[test]
+    fn baseline_gate_needs_at_least_one_overlapping_cell() {
+        let c = cell("TRUST", 1.0); // baseline only has Polak
+        let err = compare_to_baseline(&baseline_text(), &[c], 0.25).unwrap_err();
+        assert!(err.contains("overlaps"), "err: {err}");
+        // ...but extra cells alongside an overlapping one are fine.
+        let mut polak = cell("Polak", 10.0);
+        polak.kernel_cycles = 1000;
+        let report =
+            compare_to_baseline(&baseline_text(), &[cell("TRUST", 1.0), polak], 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+        assert!(report.advisories.iter().any(|a| a.contains("no baseline")));
     }
 
     #[test]

@@ -10,12 +10,17 @@
 //! ```sh
 //! cargo run --release -p tc-bench --bin bench_sweep -- \
 //!     [dataset-name... | --small | --medium] [--serial] [--reps N] \
-//!     [--bench-json PATH]
+//!     [--bench-json PATH] [--check-baseline PATH]
 //! ```
 //!
 //! `--bench-json` writes the machine-readable trajectory file (see
 //! `tc_bench::bench_json`); committing it as `BENCH_sim.json` records the
-//! perf baseline future PRs regress against.
+//! perf baseline future PRs regress against. `--check-baseline` regresses
+//! this run against such a committed file: any overlapping cell whose
+//! deterministic `kernel_cycles` exceeds the baseline by more than 25%
+//! fails the run (exit 1); wall-clock drift is reported as advisory only,
+//! because host timing varies across machines. This is the CI
+//! bench-smoke regression gate.
 
 use std::time::Instant;
 
@@ -28,6 +33,7 @@ fn main() -> Result<(), String> {
     let mut reps: u32 = 3;
     let mut serial = false;
     let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut dataset_args: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -46,6 +52,9 @@ fn main() -> Result<(), String> {
             }
             "--bench-json" => {
                 json_path = Some(args.next().ok_or("--bench-json needs a path")?);
+            }
+            "--check-baseline" => {
+                baseline_path = Some(args.next().ok_or("--check-baseline needs a path")?);
             }
             other => dataset_args.push(other.to_string()),
         }
@@ -112,6 +121,31 @@ fn main() -> Result<(), String> {
         bench_json::validate(&text).map_err(|e| format!("internal: emitted bad JSON: {e}"))?;
         std::fs::write(&path, &text).map_err(|e| format!("write {path}: {e}"))?;
         eprint_progress(&format!("wrote {path}"));
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&path).map_err(|e| format!("read baseline {path}: {e}"))?;
+        let report = bench_json::compare_to_baseline(&baseline, &cells, 0.25)
+            .map_err(|e| format!("baseline check against {path}: {e}"))?;
+        for adv in &report.advisories {
+            eprint_progress(&format!("advisory: {adv}"));
+        }
+        if report.passed() {
+            eprint_progress(&format!(
+                "baseline check vs {path}: {} cell(s) within the +25% kernel-cycle band",
+                report.compared,
+            ));
+        } else {
+            for f in &report.failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            return Err(format!(
+                "baseline check vs {path} failed: {} regression(s) in {} compared cell(s)",
+                report.failures.len(),
+                report.compared,
+            ));
+        }
     }
     Ok(())
 }

@@ -1,0 +1,101 @@
+//! Differential pin: the fused streaming replay engine (the default —
+//! each warp's phase trace is replayed the moment its 32 lanes finish)
+//! and the retained two-pass engine (`Device::with_retained_trace` —
+//! record the whole block, replay at the barrier) must produce
+//! **byte-identical** outcomes: same triangle count, same
+//! `kernel_cycles`, same `total_block_cycles`, and the same value in
+//! every `ProfileCounters` field.
+//!
+//! The two engines share the replay rules but differ in when replay
+//! runs and how lane buffers are recycled, so this test is the direct
+//! guard against the fusion ever drifting — with and without the
+//! data-race detector + SimSan engaged, since the analyses hook the
+//! record side and must not perturb either engine's accounting.
+//!
+//! Coverage: every registered algorithm (the list comes from the
+//! framework registry, so new algorithms enroll automatically) on three
+//! structurally distinct conformance graphs (dense Erdős–Rényi, skewed
+//! R-MAT, sparse road grid).
+
+use tc_compare::algos::conformance::generator_cases;
+use tc_compare::algos::{DeviceGraph, TcAlgorithm};
+use tc_compare::core::all_algorithms;
+use tc_compare::graph::{clean_edges, orient, DagGraph};
+use tc_compare::sim::{Device, DeviceMem, LaunchStats};
+
+/// The three differential graphs: one per major structure class of the
+/// conformance corpus.
+const CASES: [&str; 3] = ["er-dense", "rmat-skewed", "road-grid"];
+
+fn run_on(dev: &Device, algo: &dyn TcAlgorithm, dag: &DagGraph) -> (u64, LaunchStats) {
+    let mut mem = DeviceMem::new(dev);
+    let dg = DeviceGraph::upload(dag, &mut mem).expect("upload");
+    let out = algo
+        .count(dev, &mut mem, &dg)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+    dg.free(&mut mem).expect("free");
+    mem.leak_check().expect("leak");
+    (out.triangles, out.stats)
+}
+
+fn assert_engines_agree(analyses_on: bool) {
+    let cases = generator_cases();
+    let (fused_dev, retained_dev) = if analyses_on {
+        (
+            Device::v100().with_race_detection().with_sanitizer(),
+            Device::v100()
+                .with_race_detection()
+                .with_sanitizer()
+                .with_retained_trace(),
+        )
+    } else {
+        (Device::v100(), Device::v100().with_retained_trace())
+    };
+    for name in CASES {
+        let case = cases
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("conformance case `{name}` disappeared"));
+        let (g, _) = clean_edges(&case.edges);
+        for algo in all_algorithms() {
+            let dag = orient(&g, algo.preferred_orientation());
+            let (fused_count, fused_stats) = run_on(&fused_dev, algo.as_ref(), &dag);
+            let (retained_count, retained_stats) = run_on(&retained_dev, algo.as_ref(), &dag);
+            assert_eq!(
+                fused_count,
+                retained_count,
+                "{} on `{name}` (analyses {analyses_on}): triangle counts diverge",
+                algo.name(),
+            );
+            assert_eq!(
+                fused_stats,
+                retained_stats,
+                "{} on `{name}` (analyses {analyses_on}): fused and retained \
+                 engines must be byte-identical across LaunchStats",
+                algo.name(),
+            );
+            if analyses_on {
+                assert!(
+                    fused_stats.counters.race_checks > 0,
+                    "{} on `{name}`: race detector never engaged",
+                    algo.name(),
+                );
+                assert!(
+                    fused_stats.counters.sanitizer_checks > 0,
+                    "{} on `{name}`: SimSan never engaged",
+                    algo.name(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_and_retained_engines_are_byte_identical() {
+    assert_engines_agree(false);
+}
+
+#[test]
+fn fused_and_retained_engines_are_byte_identical_under_analyses() {
+    assert_engines_agree(true);
+}
