@@ -3,7 +3,7 @@
 //! [`TcAlgorithm`].
 
 use gpu_sim::{Device, DeviceMem, LaunchStats, SimError};
-use graph_data::Orientation;
+use graph_data::{DagGraph, Orientation};
 
 use crate::device_graph::DeviceGraph;
 
@@ -78,4 +78,19 @@ pub trait TcAlgorithm: Sync {
         mem: &mut DeviceMem,
         g: &DeviceGraph,
     ) -> Result<TcOutput, SimError>;
+
+    /// Count the triangles of the same oriented DAG natively on the
+    /// host: a rayon-parallel CPU kernel mirroring the implementation's
+    /// iterator/intersection strategy (see [`crate::cpu`]). This is the
+    /// `Backend::Cpu` execution path — it models nothing (no cycles, no
+    /// counters), it just produces the exact count at wall-clock speed.
+    ///
+    /// The default is the parallel Forward merge reference; every
+    /// registered algorithm overrides it with its strategy-matched
+    /// kernel. A panic here is isolated by the runner's CPU backend as
+    /// `RunOutcome::Failed`, mirroring how device-side faults poison
+    /// only their own sweep cell.
+    fn count_cpu(&self, dag: &DagGraph) -> u64 {
+        graph_data::cpu_ref::forward_merge_parallel(dag)
+    }
 }

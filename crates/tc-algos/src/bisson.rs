@@ -183,6 +183,12 @@ impl TcAlgorithm for Bisson {
         }
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: per-worker bitmap build/probe/clear over each
+    /// vertex's out-list — the CPU shape of the bitmap arena slots.
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_vertex_bitmap(dag)
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,12 @@
 //! CPU reference plus metamorphic invariants, all executed under the
 //! simulator's data-race detector *and* SimSan.
 //!
+//! Since the backend split, every check is also *three-way* differential:
+//! the sim kernel, the algorithm's native host kernel
+//! ([`TcAlgorithm::count_cpu`]) and the `cpu_ref::node_iterator` oracle
+//! must agree on every case — the CPU execution path lives behind the
+//! same wall the sim path does.
+//!
 //! Every check runs on a [`Device::with_race_detection`] +
 //! [`Device::with_sanitizer`] device, so a kernel that only *appears*
 //! correct because the simulator serializes lanes (or zero-fills memory
@@ -106,10 +112,33 @@ fn count_or_die(algo: &dyn TcAlgorithm, case: &ConformanceCase, dag: &DagGraph) 
     }
 }
 
+/// `count_cpu` for one case, asserting the host kernel agrees with the
+/// node-iterator oracle (and therefore with any sim count that passed
+/// its own differential check).
+fn cpu_count_checked(algo: &dyn TcAlgorithm, case: &ConformanceCase, dag: &DagGraph) -> u64 {
+    let expected = {
+        let (g, _) = clean_edges(&case.edges);
+        cpu_ref::node_iterator(&g)
+    };
+    let got = algo.count_cpu(dag);
+    assert_eq!(
+        got,
+        expected,
+        "{}: cpu kernel counted {got} but the node-iterator oracle says {expected} \
+         on case `{}` under {:?}\n  reproduce with: let edges = {};",
+        algo.name(),
+        case.name,
+        dag.orientation(),
+        case.repro,
+    );
+    got
+}
+
 /// Differential check: the GPU count must equal the CPU node-iterator
 /// baseline (an implementation independent of orientation and of every
-/// GPU intersection strategy). Returns the race-detector and sanitizer
-/// check counts so callers can prove both were live.
+/// GPU intersection strategy), and the algorithm's native host kernel
+/// must agree with both. Returns the race-detector and sanitizer check
+/// counts so callers can prove both were live.
 pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> (u64, u64) {
     let (g, _) = clean_edges(&case.edges);
     let expected = cpu_ref::node_iterator(&g);
@@ -125,6 +154,7 @@ pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> (u6
         case.name,
         case.repro,
     );
+    cpu_count_checked(algo, case, &dag);
     assert!(
         out.stats.counters.race_checks > 0,
         "{}: race detector performed no checks on `{}` — detection wiring is broken",
@@ -144,7 +174,7 @@ pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> (u6
 }
 
 /// Metamorphic check: the triangle count is a graph invariant, so the
-/// three standard orientations must all agree.
+/// three standard orientations must all agree — on both backends.
 pub fn check_orientation_invariance(algo: &dyn TcAlgorithm, case: &ConformanceCase) {
     let (g, _) = clean_edges(&case.edges);
     let mut counts = Vec::new();
@@ -154,7 +184,18 @@ pub fn check_orientation_invariance(algo: &dyn TcAlgorithm, case: &ConformanceCa
         Orientation::DegreeDesc,
     ] {
         let dag = orient(&g, o);
-        counts.push((o, count_or_die(algo, case, &dag).triangles));
+        let sim = count_or_die(algo, case, &dag).triangles;
+        let cpu = cpu_count_checked(algo, case, &dag);
+        assert_eq!(
+            cpu,
+            sim,
+            "{}: cpu and sim disagree under {o:?} on case `{}`\n  \
+             reproduce with: let edges = {};",
+            algo.name(),
+            case.name,
+            case.repro,
+        );
+        counts.push((o, sim));
     }
     let (first_o, first) = counts[0];
     for &(o, n) in &counts[1..] {
@@ -188,6 +229,16 @@ pub fn check_relabel_invariance(algo: &dyn TcAlgorithm, case: &ConformanceCase, 
         baseline,
         "{}: relabeling (seed {seed}) changed the count from {baseline} to {got} on case `{}`\n  \
          reproduce with: let edges = relabel_edges(&{}, {seed});",
+        algo.name(),
+        case.name,
+        case.repro,
+    );
+    let cpu = algo.count_cpu(&dag);
+    assert_eq!(
+        cpu,
+        baseline,
+        "{}: cpu kernel counted {cpu} on the relabeled (seed {seed}) case `{}`, expected \
+         {baseline}\n  reproduce with: let edges = relabel_edges(&{}, {seed});",
         algo.name(),
         case.name,
         case.repro,
@@ -279,6 +330,9 @@ fn permutation(n: u32, seed: u64) -> Vec<VertexId> {
 pub struct ConformanceStats {
     /// Differential + metamorphic GPU runs executed.
     pub runs: u64,
+    /// Native host-kernel runs executed alongside the sim runs (every
+    /// sim run is mirrored by a `count_cpu` differential twin).
+    pub cpu_runs: u64,
     /// Race-detector checks accumulated across the differential runs —
     /// nonzero proves the suite exercised the detector.
     pub race_checks: u64,
@@ -288,10 +342,12 @@ pub struct ConformanceStats {
 }
 
 /// Run the full conformance suite for one algorithm: differential on
-/// every case, metamorphic checks on the designated subset.
+/// every case (sim ≡ cpu ≡ node-iterator), metamorphic checks on the
+/// designated subset.
 pub fn run_all(algo: &dyn TcAlgorithm) -> ConformanceStats {
     let mut stats = ConformanceStats {
         runs: 0,
+        cpu_runs: 0,
         race_checks: 0,
         sanitizer_checks: 0,
     };
@@ -300,10 +356,12 @@ pub fn run_all(algo: &dyn TcAlgorithm) -> ConformanceStats {
         stats.race_checks += race_checks;
         stats.sanitizer_checks += sanitizer_checks;
         stats.runs += 1;
+        stats.cpu_runs += 1;
         if case.metamorphic {
             check_orientation_invariance(algo, &case);
             check_relabel_invariance(algo, &case, 0xC0FFEE ^ case.name.len() as u64);
             stats.runs += 4; // three orientations + one relabeled run
+            stats.cpu_runs += 4; // their host-kernel twins
         }
     }
     stats

@@ -1,0 +1,239 @@
+//! Native host kernels: rayon-parallel CPU analogues of the GPU
+//! intersection strategies.
+//!
+//! Every [`TcAlgorithm`](crate::api::TcAlgorithm) also executes on the
+//! host via [`count_cpu`](crate::api::TcAlgorithm::count_cpu), using the
+//! same prepared DAG the device kernels consume. The helpers here mirror
+//! the four Section II-B intersection primitives (delegating the
+//! per-pair work to the `graph_data::cpu_ref` oracles) while the
+//! *parallel structure* mirrors each algorithm's iterator model: one
+//! rayon task per vertex with its out-edges processed inline, which is
+//! the standard multicore shape for both vertex- and edge-iterator
+//! counters (an edge task list would only add scheduling overhead).
+//!
+//! The CPU path deliberately models nothing: no cycles, no profiling
+//! counters — it exists to serve real counts at wall-clock speed and to
+//! act as a differential twin for the simulator (see
+//! `tc_core::framework::backend`).
+
+use graph_data::cpu_ref::{intersect_binsearch, intersect_hash, intersect_merge};
+use graph_data::DagGraph;
+use rayon::prelude::*;
+
+/// Forward counting with the two-pointer merge primitive (Green, Polak):
+/// for every DAG edge (u,v), merge-intersect the out-lists of u and v.
+pub fn par_edge_merge(dag: &DagGraph) -> u64 {
+    let csr = dag.csr();
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            csr.neighbors(u)
+                .iter()
+                .map(|&v| intersect_merge(csr.neighbors(u), csr.neighbors(v)))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Forward counting with the binary-search primitive (TriCore, Hu,
+/// GroupTC): each key of the shorter list descends the longer one.
+pub fn par_edge_binsearch(dag: &DagGraph) -> u64 {
+    let csr = dag.csr();
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            csr.neighbors(u)
+                .iter()
+                .map(|&v| intersect_binsearch(csr.neighbors(u), csr.neighbors(v)))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Forward counting with the chained-bucket hash primitive (H-INDEX):
+/// fixed bucket count, shorter list builds the table.
+pub fn par_edge_hash(dag: &DagGraph, buckets: usize) -> u64 {
+    let csr = dag.csr();
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            csr.neighbors(u)
+                .iter()
+                .map(|&v| intersect_hash(csr.neighbors(u), csr.neighbors(v), buckets))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Vertex-iterator hash counting with a degree-adaptive bucket count
+/// (TRUST's warp/block mode switch): vertices whose out-list exceeds
+/// `threshold` use `large_buckets`, the rest `small_buckets`.
+pub fn par_vertex_hash(
+    dag: &DagGraph,
+    threshold: u32,
+    small_buckets: usize,
+    large_buckets: usize,
+) -> u64 {
+    let csr = dag.csr();
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            let nbrs = csr.neighbors(u);
+            let buckets = if nbrs.len() as u32 > threshold {
+                large_buckets
+            } else {
+                small_buckets
+            };
+            nbrs.iter()
+                .map(|&v| intersect_hash(nbrs, csr.neighbors(v), buckets))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Vertex-iterator bitmap counting (Bisson): each worker thread owns one
+/// bitmap spanning the vertex-ID space, marks N⁺(u) once, probes every
+/// neighbour's out-list against it, then clears only the set bits —
+/// exactly the build/probe/clear cycle of the GPU kernel, with rayon's
+/// `map_init` standing in for the per-block bitmap arena slot.
+pub fn par_vertex_bitmap(dag: &DagGraph) -> u64 {
+    let csr = dag.csr();
+    let words = (csr.num_vertices() as usize).div_ceil(32).max(1);
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map_init(
+            || vec![0u32; words],
+            |bits, u| {
+                let nbrs = csr.neighbors(u);
+                for &x in nbrs {
+                    bits[x as usize / 32] |= 1 << (x % 32);
+                }
+                let mut local = 0u64;
+                for &v in nbrs {
+                    for &w in csr.neighbors(v) {
+                        local += u64::from(bits[w as usize / 32] >> (w % 32) & 1);
+                    }
+                }
+                for &x in nbrs {
+                    bits[x as usize / 32] &= !(1 << (x % 32));
+                }
+                local
+            },
+        )
+        .sum()
+}
+
+/// Per-edge adaptive counting (Fox): pick merge or binary search per
+/// edge by the cheaper estimated workload, using the same estimators as
+/// the GPU binning prepass.
+pub fn par_edge_adaptive(dag: &DagGraph) -> u64 {
+    let csr = dag.csr();
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            let a = csr.neighbors(u);
+            csr.neighbors(u)
+                .iter()
+                .map(|&v| {
+                    let b = csr.neighbors(v);
+                    let (du, dv) = (a.len() as u32, b.len() as u32);
+                    let small = du.min(dv) as u64;
+                    let large = u64::from(du.max(dv).max(1));
+                    let bsearch = small * (64 - large.leading_zeros() as u64);
+                    let merge = du as u64 + dv as u64;
+                    if bsearch < merge {
+                        intersect_binsearch(a, b)
+                    } else {
+                        intersect_merge(a, b)
+                    }
+                })
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Per-edge hash/binary-search routing (GroupTC-H): with the shorter
+/// out-list as keys and the longer as the search table (the same
+/// flipping rule as the device split), an edge whose table has at least
+/// `table_min` entries probed by at least `keys_min` keys intersects
+/// through a chained hash; everything else binary-searches.
+pub fn par_edge_adaptive_hash(
+    dag: &DagGraph,
+    table_min: u32,
+    keys_min: u32,
+    buckets: usize,
+) -> u64 {
+    let csr = dag.csr();
+    (0..csr.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            let a = csr.neighbors(u);
+            csr.neighbors(u)
+                .iter()
+                .map(|&v| {
+                    let b = csr.neighbors(v);
+                    let keys = a.len().min(b.len()) as u32;
+                    let table = a.len().max(b.len()) as u32;
+                    if table >= table_min && keys >= keys_min {
+                        intersect_hash(a, b, buckets)
+                    } else {
+                        intersect_binsearch(a, b)
+                    }
+                })
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_data::{clean_edges, cpu_ref, gen, orient, Orientation};
+
+    #[test]
+    fn all_host_kernels_agree_with_the_oracle() {
+        for (label, edges) in [
+            ("rmat", gen::rmat(8, 2500, 0.57, 0.19, 0.19, 0.05, 31)),
+            ("er", gen::erdos_renyi(150, 900, 32)),
+            ("ba", gen::barabasi_albert(200, 5, 0.5, 33)),
+        ] {
+            let (g, _) = clean_edges(&edges);
+            let expected = cpu_ref::node_iterator(&g);
+            for o in [
+                Orientation::ById,
+                Orientation::DegreeAsc,
+                Orientation::DegreeDesc,
+            ] {
+                let dag = orient(&g, o);
+                assert_eq!(par_edge_merge(&dag), expected, "{label} merge {o:?}");
+                assert_eq!(par_edge_binsearch(&dag), expected, "{label} bin {o:?}");
+                assert_eq!(par_edge_hash(&dag, 32), expected, "{label} hash {o:?}");
+                assert_eq!(
+                    par_vertex_hash(&dag, 100, 32, 1024),
+                    expected,
+                    "{label} vhash {o:?}"
+                );
+                assert_eq!(par_vertex_bitmap(&dag), expected, "{label} bitmap {o:?}");
+                assert_eq!(par_edge_adaptive(&dag), expected, "{label} adaptive {o:?}");
+                assert_eq!(
+                    par_edge_adaptive_hash(&dag, 16, 4, 32),
+                    expected,
+                    "{label} ahash {o:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_counts_zero_on_every_kernel() {
+        let (g, _) = clean_edges(&graph_data::EdgeList::new(vec![(0, 1)]));
+        let dag = orient(&g, Orientation::ById);
+        assert_eq!(par_edge_merge(&dag), 0);
+        assert_eq!(par_edge_binsearch(&dag), 0);
+        assert_eq!(par_edge_hash(&dag, 32), 0);
+        assert_eq!(par_vertex_hash(&dag, 100, 32, 1024), 0);
+        assert_eq!(par_vertex_bitmap(&dag), 0);
+        assert_eq!(par_edge_adaptive(&dag), 0);
+        assert_eq!(par_edge_adaptive_hash(&dag, 16, 4, 32), 0);
+    }
+}

@@ -145,6 +145,13 @@ impl TcAlgorithm for Fox {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: the same per-edge merge-vs-binary-search workload
+    /// estimate as the GPU binning prepass, minus the bins (rayon
+    /// schedules; the bins only exist to match thread groups to work).
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_edge_adaptive(dag)
+    }
 }
 
 /// Merge-path intersection of one edge across `group_size` lanes (the

@@ -122,6 +122,12 @@ impl TcAlgorithm for Green {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: Green's merge-path partitioning only balances device
+    /// lanes; on the CPU the same work is a plain parallel forward merge.
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_edge_merge(dag)
+    }
 }
 
 #[cfg(test)]

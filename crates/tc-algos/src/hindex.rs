@@ -164,6 +164,12 @@ impl TcAlgorithm for HIndex {
         mem.free(arena)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: 32-bucket chained hash per edge — the same bucket
+    /// count as the warp-mode shared-memory table.
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_edge_hash(dag, BUCKETS as usize)
+    }
 }
 
 /// Edge list bounds with the **shorter** list first (build side) and the

@@ -154,6 +154,12 @@ impl TcAlgorithm for Hu {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: vertex-iterator binary search (Hu's shared-memory
+    /// cache is a device optimization with no host analogue).
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_edge_binsearch(dag)
+    }
 }
 
 #[cfg(test)]

@@ -1,26 +1,33 @@
-//! # tc-algos — the eight published GPU ITC algorithms
+//! # tc-algos — the published GPU ITC algorithms
 //!
 //! Re-implementations, against the [`gpu_sim`] substrate, of every
 //! intersection-based triangle-counting implementation the paper
-//! evaluates (Table I):
+//! evaluates (Table I), plus the cover-edge algorithm of Bader et al.:
 //!
-//! | Module      | Name    | Year | Iterator | Intersection     | Granularity |
-//! |-------------|---------|------|----------|------------------|-------------|
-//! | [`green`]   | Green   | 2014 | edge     | Merge (merge path) | fine      |
-//! | [`polak`]   | Polak   | 2016 | edge     | Merge            | coarse      |
-//! | [`bisson`]  | Bisson  | 2017 | vertex   | BitMap           | coarse      |
-//! | [`tricore`] | TriCore | 2018 | edge     | Binary search    | fine        |
-//! | [`fox`]     | Fox     | 2018 | edge     | Merge/Bin-search | fine        |
-//! | [`hu`]      | Hu      | 2019 | vertex   | Binary search    | fine        |
-//! | [`hindex`]  | H-INDEX | 2019 | edge     | Hash             | fine        |
-//! | [`trust`]   | TRUST   | 2021 | vertex   | Hash             | fine        |
+//! | Module        | Name      | Year | Iterator | Intersection     | Granularity |
+//! |---------------|-----------|------|----------|------------------|-------------|
+//! | [`green`]     | Green     | 2014 | edge     | Merge (merge path) | fine      |
+//! | [`polak`]     | Polak     | 2016 | edge     | Merge            | coarse      |
+//! | [`bisson`]    | Bisson    | 2017 | vertex   | BitMap           | coarse      |
+//! | [`tricore`]   | TriCore   | 2018 | edge     | Binary search    | fine        |
+//! | [`fox`]       | Fox       | 2018 | edge     | Merge/Bin-search | fine        |
+//! | [`hu`]        | Hu        | 2019 | vertex   | Binary search    | fine        |
+//! | [`hindex`]    | H-INDEX   | 2019 | edge     | Hash             | fine        |
+//! | [`trust`]     | TRUST     | 2021 | vertex   | Hash             | fine        |
+//! | [`coveredge`] | CoverEdge | 2024 | edge     | Merge            | coarse      |
 //!
-//! Each implements [`TcAlgorithm`]; [`registry::published_algorithms`]
-//! returns them all. The paper's own GroupTC lives in `tc-core`.
+//! Each implements [`TcAlgorithm`] — both the simulated kernel
+//! (`count`) and a native rayon host kernel (`count_cpu`, built from
+//! the primitives in [`cpu`]) that the framework's `CpuBackend` and
+//! the differential CPU ≡ sim conformance wall execute.
+//! [`registry::published_algorithms`] returns the paper's eight;
+//! the paper's own GroupTC lives in `tc-core`.
 
 pub mod api;
 pub mod bisson;
 pub mod conformance;
+pub mod coveredge;
+pub mod cpu;
 pub mod device_graph;
 pub mod fox;
 pub mod green;

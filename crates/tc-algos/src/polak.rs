@@ -107,6 +107,12 @@ impl TcAlgorithm for Polak {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: one rayon task per vertex, sequential two-pointer
+    /// merge per out-edge — the CPU Forward algorithm Polak ports.
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_edge_merge(dag)
+    }
 }
 
 #[cfg(test)]

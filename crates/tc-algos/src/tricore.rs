@@ -175,6 +175,12 @@ impl TcAlgorithm for TriCore {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: binary-search intersection per edge (the tree-top
+    /// cache is a device-memory optimization with no host analogue).
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_edge_binsearch(dag)
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,18 @@ impl TcAlgorithm for Trust {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: vertex-iterator hashing with TRUST's warp/block mode
+    /// switch — vertices above the block-degree threshold hash into the
+    /// wide table, the rest into the 32-bucket one.
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        crate::cpu::par_vertex_hash(
+            dag,
+            BLOCK_DEGREE,
+            WARP_BUCKETS as usize,
+            BLOCK_BUCKETS as usize,
+        )
+    }
 }
 
 #[derive(Clone, Copy, PartialEq)]

@@ -36,6 +36,10 @@ use tc_core::framework::runner::{RunOutcome, RunRecord};
 pub struct BenchCell {
     pub algorithm: String,
     pub dataset: String,
+    /// Execution backend (`"sim"` or `"cpu"`). Serialized only when a
+    /// document mixes backends, so pure-sim `BENCH_sim.json` files keep
+    /// their historical shape.
+    pub backend: &'static str,
     /// `"ok"` or `"failed"`.
     pub outcome: &'static str,
     /// Best (minimum over reps) host wall-clock time simulating the cell.
@@ -64,6 +68,7 @@ impl BenchCell {
                 BenchCell {
                     algorithm: r.algorithm.clone(),
                     dataset: r.dataset.to_string(),
+                    backend: r.backend,
                     outcome,
                     wall_ms: r.wall.as_secs_f64() * 1e3,
                     kernel_cycles,
@@ -79,6 +84,7 @@ impl BenchCell {
         assert_eq!(cells.len(), rep.len(), "reps must run the same matrix");
         for (cell, r) in cells.iter_mut().zip(rep) {
             debug_assert_eq!(cell.algorithm, r.algorithm);
+            debug_assert_eq!(cell.backend, r.backend);
             cell.wall_ms = cell.wall_ms.min(r.wall.as_secs_f64() * 1e3);
         }
     }
@@ -108,13 +114,22 @@ pub fn render(device: &str, reps: u32, total_wall_ms: f64, cells: &[BenchCell]) 
     out.push_str(&format!("  \"reps\": {reps},\n"));
     out.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.3},\n"));
     out.push_str("  \"records\": [\n");
+    // The backend field only appears in mixed-backend documents, so a
+    // pure-sim BENCH_sim.json stays diffable against historical files.
+    let multi_backend = cells.iter().any(|c| c.backend != "sim");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 == cells.len() { "" } else { "," };
+        let backend = if multi_backend {
+            format!("\"backend\": \"{}\", ", c.backend)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"dataset\": \"{}\", \"outcome\": \"{}\", \
+            "    {{\"algorithm\": \"{}\", \"dataset\": \"{}\", {}\"outcome\": \"{}\", \
              \"wall_ms\": {:.3}, \"kernel_cycles\": {}, \"verified\": {}}}{}\n",
             escape(&c.algorithm),
             escape(&c.dataset),
+            backend,
             c.outcome,
             c.wall_ms,
             c.kernel_cycles,
@@ -394,6 +409,12 @@ pub fn validate(text: &str) -> Result<usize, String> {
         r.get("dataset")
             .and_then(Json::as_str)
             .ok_or_else(|| ctx("missing string `dataset`"))?;
+        if let Some(b) = r.get("backend") {
+            match b.as_str() {
+                Some("sim") | Some("cpu") => {}
+                _ => return Err(ctx("`backend`, when present, must be \"sim\" or \"cpu\"")),
+            }
+        }
         let outcome = r
             .get("outcome")
             .and_then(Json::as_str)
@@ -472,8 +493,9 @@ pub fn compare_to_baseline(
         let base = records.iter().find(|r| {
             r.get("algorithm").and_then(Json::as_str) == Some(cell.algorithm.as_str())
                 && r.get("dataset").and_then(Json::as_str) == Some(cell.dataset.as_str())
+                && r.get("backend").and_then(Json::as_str).unwrap_or("sim") == cell.backend
         });
-        let label = format!("{} / {}", cell.algorithm, cell.dataset);
+        let label = format!("{} / {} [{}]", cell.algorithm, cell.dataset, cell.backend);
         let Some(base) = base else {
             report
                 .advisories
@@ -546,6 +568,7 @@ mod tests {
         BenchCell {
             algorithm: algo.to_string(),
             dataset: "tiny-rmat".to_string(),
+            backend: "sim",
             outcome: "ok",
             wall_ms: wall,
             kernel_cycles: 42,
@@ -558,6 +581,34 @@ mod tests {
         let cells = vec![cell("Polak", 1.25), cell("TRUST", 3.5)];
         let text = render("V100", 3, 12.0, &cells);
         assert_eq!(validate(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn backend_field_appears_only_in_mixed_documents() {
+        // Pure sim: no backend key anywhere (historical shape).
+        let pure = render("V100", 1, 1.0, &[cell("Polak", 1.0)]);
+        assert!(!pure.contains("\"backend\""));
+        // Mixed: every record is tagged, and it still validates.
+        let mut c = cell("Polak", 2.0);
+        c.backend = "cpu";
+        let mixed = render("V100", 1, 3.0, &[cell("Polak", 1.0), c]);
+        assert!(mixed.contains("\"backend\": \"sim\""));
+        assert!(mixed.contains("\"backend\": \"cpu\""));
+        assert_eq!(validate(&mixed).unwrap(), 2);
+        // A bogus backend value is rejected.
+        let bad = mixed.replace("\"backend\": \"cpu\"", "\"backend\": \"gpu\"");
+        assert!(validate(&bad).unwrap_err().contains("backend"));
+    }
+
+    #[test]
+    fn baseline_matching_is_backend_aware() {
+        // Baseline holds a sim cell; a cpu cell with the same name must
+        // not be compared against it.
+        let mut c = cell("Polak", 10.0);
+        c.backend = "cpu";
+        c.kernel_cycles = 0;
+        let err = compare_to_baseline(&baseline_text(), &[c], 0.25).unwrap_err();
+        assert!(err.contains("overlaps"), "err: {err}");
     }
 
     #[test]
@@ -669,6 +720,7 @@ mod tests {
         let rep = vec![RunRecord {
             algorithm: "Polak".to_string(),
             dataset: "tiny-rmat",
+            backend: "sim",
             outcome: RunOutcome::Failed(gpu_sim::SimError::KernelFault("x".into())),
             wall: Duration::from_millis(2),
         }];

@@ -1,6 +1,6 @@
 //! Sweep microbenchmark: host wall-clock time of the evaluation engine.
 //!
-//! Runs all nine registered algorithms over the selected datasets
+//! Runs every registered algorithm over the selected datasets
 //! (default: Wiki-Talk, the medium R-MAT stand-in) `--reps` times and
 //! reports, per cell, the best host wall time plus the modelled kernel
 //! cycles. This measures the *simulator's* speed — the bottleneck of the
@@ -10,8 +10,15 @@
 //! ```sh
 //! cargo run --release -p tc-bench --bin bench_sweep -- \
 //!     [dataset-name... | --small | --medium] [--serial] [--reps N] \
-//!     [--bench-json PATH] [--check-baseline PATH]
+//!     [--backend sim|cpu|both] [--bench-json PATH] [--check-baseline PATH]
 //! ```
+//!
+//! `--backend` selects the execution substrate: `sim` (default) runs the
+//! cycle-modelled simulator, `cpu` runs each algorithm's native rayon
+//! host kernel (kernel cycles report 0 — the CPU path models nothing),
+//! and `both` sweeps the two back to back for a differential wall-clock
+//! comparison. Mixed-backend JSON output tags every record with its
+//! backend; pure-sim output keeps the historical schema.
 //!
 //! `--bench-json` writes the machine-readable trajectory file (see
 //! `tc_bench::bench_json`); committing it as `BENCH_sim.json` records the
@@ -24,14 +31,19 @@
 
 use std::time::Instant;
 
+use gpu_sim::Device;
 use tc_bench::bench_json::{self, BenchCell};
-use tc_bench::{datasets_from_args, eprint_progress, sweep, sweep_serial};
+use tc_bench::{datasets_from_args, eprint_progress};
+use tc_core::framework::backend::{
+    run_matrix_backends, run_matrix_backends_parallel, Backend, CpuBackend, SimBackend,
+};
 use tc_core::framework::registry::all_algorithms;
 use tc_core::framework::runner::RunRecord;
 
 fn main() -> Result<(), String> {
     let mut reps: u32 = 3;
     let mut serial = false;
+    let mut backend_arg = "sim".to_string();
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut dataset_args: Vec<String> = Vec::new();
@@ -40,6 +52,9 @@ fn main() -> Result<(), String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--serial" => serial = true,
+            "--backend" => {
+                backend_arg = args.next().ok_or("--backend needs sim|cpu|both")?;
+            }
             "--reps" => {
                 reps = args
                     .next()
@@ -64,19 +79,29 @@ fn main() -> Result<(), String> {
     }
     let datasets = datasets_from_args(&dataset_args)?;
     let algos = all_algorithms();
+    let dev = Device::v100();
+    let sim = SimBackend { dev: &dev };
+    let backends: Vec<&dyn Backend> = match backend_arg.as_str() {
+        "sim" => vec![&sim],
+        "cpu" => vec![&CpuBackend],
+        "both" => vec![&sim, &CpuBackend],
+        other => return Err(format!("--backend must be sim|cpu|both, got `{other}`")),
+    };
     let mode = if serial { "serial" } else { "parallel" };
     eprint_progress(&format!(
-        "bench_sweep: {} algorithms x {} datasets, {reps} rep(s), {mode}",
+        "bench_sweep: {} algorithms x {} datasets x {} backend(s) ({backend_arg}), \
+         {reps} rep(s), {mode}",
         algos.len(),
         datasets.len(),
+        backends.len(),
     ));
 
     let run = |label: &str| -> Vec<RunRecord> {
         let started = Instant::now();
         let records = if serial {
-            sweep_serial(&algos, &datasets)
+            run_matrix_backends(&backends, &algos, &datasets)
         } else {
-            sweep(&algos, &datasets)
+            run_matrix_backends_parallel(&backends, &algos, &datasets)
         };
         eprint_progress(&format!(
             "{label}: {:.1} ms",
@@ -94,15 +119,22 @@ fn main() -> Result<(), String> {
     }
     let total_wall_ms = total_started.elapsed().as_secs_f64() * 1e3;
 
+    let multi = backends.len() > 1;
     println!(
-        "{:<12} {:<18} {:>10} {:>14} {:>9}",
-        "algorithm", "dataset", "wall ms", "kernel cycles", "outcome"
+        "{:<12} {:<18} {:<7} {:>10} {:>14} {:>9}",
+        "algorithm",
+        "dataset",
+        if multi { "backend" } else { "" },
+        "wall ms",
+        "kernel cycles",
+        "outcome"
     );
     for c in &cells {
         println!(
-            "{:<12} {:<18} {:>10.3} {:>14} {:>9}",
+            "{:<12} {:<18} {:<7} {:>10.3} {:>14} {:>9}",
             c.algorithm,
             c.dataset,
+            if multi { c.backend } else { "" },
             c.wall_ms,
             c.kernel_cycles,
             if c.outcome == "ok" && c.verified {

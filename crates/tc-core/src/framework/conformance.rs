@@ -1,7 +1,9 @@
 //! Registry-driven conformance sweep: every registered algorithm —
 //! current and future, with no per-algorithm enrollment — runs the full
 //! differential + metamorphic suite of `tc_algos::conformance` under the
-//! data-race detector and SimSan (with an end-of-run leak check).
+//! data-race detector and SimSan (with an end-of-run leak check), with
+//! every sim run mirrored by the algorithm's native host kernel (the
+//! CPU ≡ sim ≡ node-iterator differential wall).
 //!
 //! Keeping the driver on the registry (rather than a hand-maintained
 //! list) means a tenth algorithm added to
@@ -48,9 +50,18 @@ mod tests {
         // The published eight are covered per-algorithm by the workspace
         // conformance test; this pins the paper's own contribution (the
         // registry entry tc-algos cannot see) at crate level too.
-        let report = run_conformance(all_algorithms().pop().unwrap().as_ref());
+        let algos = all_algorithms();
+        let grouptc = algos
+            .iter()
+            .find(|a| a.name() == "GroupTC")
+            .expect("GroupTC registered");
+        let report = run_conformance(grouptc.as_ref());
         assert_eq!(report.algorithm, "GroupTC");
         assert!(report.stats.runs > 0);
+        assert_eq!(
+            report.stats.cpu_runs, report.stats.runs,
+            "every sim run must have a host-kernel twin"
+        );
         assert!(report.stats.race_checks > 0);
         assert!(report.stats.sanitizer_checks > 0);
     }

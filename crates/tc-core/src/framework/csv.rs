@@ -20,6 +20,26 @@ time_ms,global_load_requests,gld_transactions,gld_transactions_per_request,\
 dram_load_sectors,global_store_requests,global_atomic_requests,\
 warp_execution_efficiency,shared_requests,issued_slots,host_wall_ms";
 
+/// [`CSV_HEADER`] with the `backend` column, emitted only when a record
+/// set mixes backends (see [`is_multi_backend`]).
+pub const CSV_BACKEND_HEADER: &str = "algorithm,dataset,backend,status,triangles,verified,\
+kernel_cycles,time_ms,global_load_requests,gld_transactions,gld_transactions_per_request,\
+dram_load_sectors,global_store_requests,global_atomic_requests,\
+warp_execution_efficiency,shared_requests,issued_slots";
+
+/// [`CSV_TIMED_HEADER`] with the `backend` column.
+pub const CSV_BACKEND_TIMED_HEADER: &str = "algorithm,dataset,backend,status,triangles,verified,\
+kernel_cycles,time_ms,global_load_requests,gld_transactions,gld_transactions_per_request,\
+dram_load_sectors,global_store_requests,global_atomic_requests,\
+warp_execution_efficiency,shared_requests,issued_slots,host_wall_ms";
+
+/// Whether a record set needs the `backend` column: any non-`"sim"`
+/// cell. Pure sim sweeps — everything written before backends existed —
+/// keep their exact historical shape, byte for byte.
+pub fn is_multi_backend(records: &[RunRecord]) -> bool {
+    records.iter().any(|r| r.backend != "sim")
+}
+
 /// One record's modelled columns (everything after `algorithm,dataset`).
 /// Shared by the deterministic and timed writers so the modelled part of
 /// a row is always byte-identical between the two.
@@ -59,9 +79,23 @@ fn modelled_columns(r: &RunRecord) -> String {
 /// output is byte-identical between serial and parallel sweeps of the
 /// same inputs.
 pub fn write_records<W: Write>(mut w: W, records: &[RunRecord]) -> io::Result<()> {
-    writeln!(w, "{CSV_HEADER}")?;
-    for r in records {
-        writeln!(w, "{},{},{}", r.algorithm, r.dataset, modelled_columns(r))?;
+    if is_multi_backend(records) {
+        writeln!(w, "{CSV_BACKEND_HEADER}")?;
+        for r in records {
+            writeln!(
+                w,
+                "{},{},{},{}",
+                r.algorithm,
+                r.dataset,
+                r.backend,
+                modelled_columns(r)
+            )?;
+        }
+    } else {
+        writeln!(w, "{CSV_HEADER}")?;
+        for r in records {
+            writeln!(w, "{},{},{}", r.algorithm, r.dataset, modelled_columns(r))?;
+        }
     }
     Ok(())
 }
@@ -71,16 +105,31 @@ pub fn write_records<W: Write>(mut w: W, records: &[RunRecord]) -> io::Result<()
 /// deterministic across runs — use it for throughput reporting, and
 /// [`write_records`] for comparable artifacts.
 pub fn write_records_timed<W: Write>(mut w: W, records: &[RunRecord]) -> io::Result<()> {
-    writeln!(w, "{CSV_TIMED_HEADER}")?;
-    for r in records {
-        writeln!(
-            w,
-            "{},{},{},{:.3}",
-            r.algorithm,
-            r.dataset,
-            modelled_columns(r),
-            r.wall.as_secs_f64() * 1e3,
-        )?;
+    if is_multi_backend(records) {
+        writeln!(w, "{CSV_BACKEND_TIMED_HEADER}")?;
+        for r in records {
+            writeln!(
+                w,
+                "{},{},{},{},{:.3}",
+                r.algorithm,
+                r.dataset,
+                r.backend,
+                modelled_columns(r),
+                r.wall.as_secs_f64() * 1e3,
+            )?;
+        }
+    } else {
+        writeln!(w, "{CSV_TIMED_HEADER}")?;
+        for r in records {
+            writeln!(
+                w,
+                "{},{},{},{:.3}",
+                r.algorithm,
+                r.dataset,
+                modelled_columns(r),
+                r.wall.as_secs_f64() * 1e3,
+            )?;
+        }
     }
     Ok(())
 }
@@ -95,6 +144,7 @@ mod tests {
             RunRecord {
                 algorithm: "Polak".into(),
                 dataset: "ds",
+                backend: "sim",
                 outcome: RunOutcome::Ok {
                     triangles: 42,
                     kernel_cycles: 1380,
@@ -112,6 +162,7 @@ mod tests {
             RunRecord {
                 algorithm: "H-INDEX".into(),
                 dataset: "ds",
+                backend: "sim",
                 outcome: RunOutcome::Failed(gpu_sim::SimError::KernelFault(
                     "overflow, with comma".into(),
                 )),
@@ -166,6 +217,59 @@ mod tests {
         for (timed, plain) in lines[1..].iter().zip(plain.lines().skip(1)) {
             assert!(timed.starts_with(plain));
         }
+    }
+
+    #[test]
+    fn mixed_backends_gain_the_backend_column() {
+        let mut recs = records();
+        recs[0].backend = "cpu";
+        let mut out = Vec::new();
+        write_records(&mut out, &recs).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], CSV_BACKEND_HEADER);
+        assert!(
+            lines[1].starts_with("Polak,ds,cpu,ok,"),
+            "line: {}",
+            lines[1]
+        );
+        assert!(
+            lines[2].starts_with("H-INDEX,ds,sim,"),
+            "line: {}",
+            lines[2]
+        );
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header arity matches rows"
+        );
+        let mut timed = Vec::new();
+        write_records_timed(&mut timed, &recs).unwrap();
+        let timed = String::from_utf8(timed).unwrap();
+        assert!(timed.starts_with(CSV_BACKEND_TIMED_HEADER));
+        assert!(timed.contains("Polak,ds,cpu,ok,"));
+    }
+
+    #[test]
+    fn pure_sim_sweeps_stay_byte_identical() {
+        // The legacy single-backend shape, pinned: no backend column, no
+        // reordering — artifacts written before backends existed diff
+        // clean against artifacts written now.
+        let mut out = Vec::new();
+        write_records(&mut out, &records()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.lines().next().unwrap(),
+            "algorithm,dataset,status,triangles,verified,kernel_cycles,time_ms,\
+global_load_requests,gld_transactions,gld_transactions_per_request,dram_load_sectors,\
+global_store_requests,global_atomic_requests,warp_execution_efficiency,shared_requests,\
+issued_slots"
+        );
+        assert!(
+            text.contains("Polak,ds,ok,42,true,1380,0.001000,10,25,2.5000,0,0,0,1.0000,0,12"),
+            "csv: {text}"
+        );
+        assert!(!text.contains("backend"));
     }
 
     #[test]

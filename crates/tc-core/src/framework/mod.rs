@@ -1,6 +1,7 @@
 //! The unified testing framework (Section IV): algorithm registry,
 //! dataset preparation, the evaluation runner, and report formatting.
 
+pub mod backend;
 pub mod claims;
 pub mod conformance;
 pub mod csv;

@@ -1,20 +1,23 @@
 //! Registry of every algorithm under evaluation: the eight published
-//! implementations (Table I) plus GroupTC.
+//! implementations (Table I), GroupTC, and the cover-edge counter.
 
 use tc_algos::api::TcAlgorithm;
+use tc_algos::coveredge::CoverEdge;
 use tc_algos::published_algorithms;
 
 use crate::grouptc::GroupTc;
 use crate::grouptc_hybrid::GroupTcHybrid;
 
-/// All nine counters: Table I order, GroupTC last (as in Figure 15).
+/// All ten counters: Table I order, then GroupTC (as in Figure 15),
+/// then the cover-edge algorithm (PAPERS.md follow-on work).
 pub fn all_algorithms() -> Vec<Box<dyn TcAlgorithm>> {
     let mut algos = published_algorithms();
     algos.push(Box::new(GroupTc::default()));
+    algos.push(Box::new(CoverEdge));
     algos
 }
 
-/// The nine evaluated counters plus GroupTC-H, this reproduction's
+/// The ten evaluated counters plus GroupTC-H, this reproduction's
 /// implementation of the paper's Section VI future work.
 pub fn extended_algorithms() -> Vec<Box<dyn TcAlgorithm>> {
     let mut algos = all_algorithms();
@@ -34,16 +37,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn nine_algorithms_grouptc_last() {
+    fn ten_algorithms_coveredge_last() {
         let algos = all_algorithms();
-        assert_eq!(algos.len(), 9);
-        assert_eq!(algos.last().unwrap().name(), "GroupTC");
+        assert_eq!(algos.len(), 10);
+        assert_eq!(algos[algos.len() - 2].name(), "GroupTC");
+        assert_eq!(algos.last().unwrap().name(), "CoverEdge");
     }
 
     #[test]
     fn extended_registry_appends_the_hybrid() {
         let algos = extended_algorithms();
-        assert_eq!(algos.len(), 10);
+        assert_eq!(algos.len(), 11);
         assert_eq!(algos.last().unwrap().name(), "GroupTC-H");
     }
 
@@ -51,6 +55,7 @@ mod tests {
     fn lookup() {
         assert!(algorithm_by_name("grouptc").is_some());
         assert!(algorithm_by_name("TRUST").is_some());
+        assert!(algorithm_by_name("coveredge").is_some());
         assert!(algorithm_by_name("polak").is_some());
         assert!(algorithm_by_name("cuGraph").is_none());
     }

@@ -106,6 +106,10 @@ pub enum RunOutcome {
 pub struct RunRecord {
     pub algorithm: String,
     pub dataset: &'static str,
+    /// Which execution backend produced the cell (`"sim"` or `"cpu"`,
+    /// see [`crate::framework::backend`]). Single-backend sweeps are all
+    /// `"sim"` and their CSV emission is unchanged by this field.
+    pub backend: &'static str,
     pub outcome: RunOutcome,
     /// Host wall-clock time spent simulating this cell (upload, kernels
     /// and verification). Unlike `outcome` this is measured, not
@@ -174,6 +178,7 @@ pub fn run_on_dataset(dev: &Device, algo: &dyn TcAlgorithm, data: &PreparedDatas
     RunRecord {
         algorithm: algo.name().to_string(),
         dataset,
+        backend: "sim",
         outcome,
         wall: started.elapsed(),
     }

@@ -126,6 +126,14 @@ impl TcAlgorithm for GroupTc {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: binary-search intersection per edge. The chunked
+    /// group processing, resume offsets and table flipping exist to keep
+    /// device lanes busy and caches hot; the host analogue is the plain
+    /// parallel binary-search forward count.
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        tc_algos::cpu::par_edge_binsearch(dag)
+    }
 }
 
 /// The chunked GroupTC kernel, optionally restricted to an explicit

@@ -125,6 +125,13 @@ impl TcAlgorithm for GroupTcHybrid {
         mem.free(counter)?;
         Ok(TcOutput { triangles, stats })
     }
+
+    /// Host kernel: the same light/heavy routing as the device split —
+    /// edges whose search table clears the hash thresholds intersect via
+    /// a chained hash, the rest via binary search.
+    fn count_cpu(&self, dag: &graph_data::DagGraph) -> u64 {
+        tc_algos::cpu::par_edge_adaptive_hash(dag, HASH_TABLE_MIN, HASH_KEYS_MIN, BUCKETS as usize)
+    }
 }
 
 /// Warp-per-heavy-edge hash kernel: build a 256-bucket table from the

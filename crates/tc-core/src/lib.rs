@@ -17,6 +17,10 @@ pub mod framework;
 pub mod grouptc;
 pub mod grouptc_hybrid;
 
+pub use framework::backend::{
+    run_matrix_backends, run_matrix_backends_parallel, run_on_dataset_cpu, Backend, CpuBackend,
+    SimBackend,
+};
 pub use framework::conformance::{run_conformance, run_conformance_suite, ConformanceReport};
 pub use framework::registry::all_algorithms;
 pub use framework::runner::{

@@ -25,6 +25,11 @@ fn every_registered_algorithm_passes_differential_and_metamorphic_checks() {
     );
     for r in &reports {
         assert!(r.stats.runs > 0, "{}: no conformance runs", r.algorithm);
+        assert_eq!(
+            r.stats.cpu_runs, r.stats.runs,
+            "{}: every sim run must have a native host-kernel twin",
+            r.algorithm
+        );
         assert!(
             r.stats.race_checks > 0,
             "{}: race detector never engaged — the suite is not actually \
@@ -96,4 +101,6 @@ fn conformance_report_shape_is_stable_for_one_algorithm() {
     assert_eq!(report.algorithm, algos[0].name());
     // 7 differential cases + 4 metamorphic cases x 4 extra runs each.
     assert_eq!(report.stats.runs, 7 + 4 * 4);
+    // Every sim run is mirrored by the algorithm's native host kernel.
+    assert_eq!(report.stats.cpu_runs, 7 + 4 * 4);
 }
