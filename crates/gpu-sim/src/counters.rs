@@ -1,5 +1,7 @@
 use std::ops::AddAssign;
 
+use crate::lint::LintReport;
+
 /// nvprof-equivalent profiling counters, defined exactly as in the paper's
 /// "Metrics" paragraph (Section IV):
 ///
@@ -56,6 +58,12 @@ pub struct ProfileCounters {
     /// fails the launch as [`crate::SimError::Sanitizer`], so this stays
     /// zero on successful launches.
     pub sanitizer_reports: u64,
+    /// Observations made by SimLint (see `gpu_sim::lint`): barrier
+    /// arrivals vetted plus replay slots aggregated for the performance
+    /// rules. Zero unless the launch enabled lints — like `race_checks`
+    /// and `sanitizer_checks`, a nonzero value on a clean run is the
+    /// evidence the kernel actually ran under the linter.
+    pub lint_checks: u64,
 }
 
 impl ProfileCounters {
@@ -112,16 +120,18 @@ impl AddAssign for ProfileCounters {
         self.races_detected += rhs.races_detected;
         self.sanitizer_checks += rhs.sanitizer_checks;
         self.sanitizer_reports += rhs.sanitizer_reports;
+        self.lint_checks += rhs.lint_checks;
     }
 }
 
 /// Result of one kernel launch: the modelled kernel time plus the merged
 /// profiling counters of every warp that ran.
 ///
-/// `PartialEq`/`Eq` compare every field (all counters are integers), so
-/// differential tests can pin two execution engines to byte-identical
-/// outcomes with a single assert.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+/// `PartialEq`/`Eq` compare every field (counters are integers and the
+/// lint report is structurally ordered), so differential tests can pin
+/// two execution engines to byte-identical outcomes with a single
+/// assert.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LaunchStats {
     /// Modelled kernel time in device cycles (wave-scheduled across SMs).
     pub kernel_cycles: u64,
@@ -130,6 +140,11 @@ pub struct LaunchStats {
     /// Number of blocks that executed.
     pub blocks: u64,
     pub counters: ProfileCounters,
+    /// SimLint's advisory findings: `Some` (possibly empty) when the
+    /// launch ran with lints enabled, `None` otherwise. Lint-only — the
+    /// cycle model and every other field are byte-identical with lints
+    /// on or off.
+    pub lint: Option<LintReport>,
 }
 
 impl AddAssign for LaunchStats {
@@ -139,6 +154,13 @@ impl AddAssign for LaunchStats {
         self.total_block_cycles += rhs.total_block_cycles;
         self.blocks += rhs.blocks;
         self.counters += rhs.counters;
+        // Findings accumulate across an algorithm's launches; a mix of
+        // linted and unlinted launches keeps whichever report exists.
+        match (&mut self.lint, rhs.lint) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            (_, None) => {}
+        }
     }
 }
 
@@ -193,6 +215,7 @@ mod tests {
             races_detected: 13,
             sanitizer_checks: 14,
             sanitizer_reports: 15,
+            lint_checks: 16,
         };
         a += a;
         assert_eq!(a.global_load_requests, 2);
@@ -202,6 +225,7 @@ mod tests {
         assert_eq!(a.races_detected, 26);
         assert_eq!(a.sanitizer_checks, 28);
         assert_eq!(a.sanitizer_reports, 30);
+        assert_eq!(a.lint_checks, 32);
         assert_eq!(a.total_global_requests(), 2 + 6 + 10);
     }
 
@@ -212,15 +236,128 @@ mod tests {
             total_block_cycles: 200,
             blocks: 2,
             counters: ProfileCounters::default(),
+            lint: None,
         };
         s += LaunchStats {
             kernel_cycles: 50,
             total_block_cycles: 60,
             blocks: 1,
             counters: ProfileCounters::default(),
+            lint: None,
         };
         assert_eq!(s.kernel_cycles, 150);
         assert_eq!(s.total_block_cycles, 260);
         assert_eq!(s.blocks, 3);
+        assert_eq!(s.lint, None);
+    }
+
+    #[test]
+    fn launch_stats_accumulate_lint_reports() {
+        use crate::lint::{Diag, LintRule};
+        let diag = Diag {
+            rule: LintRule::LowOccupancy,
+            block: None,
+            lanes: None,
+            pc_hint: "phase 1".to_string(),
+            detail: "d".to_string(),
+        };
+        let linted = |diags: Vec<Diag>| LaunchStats {
+            lint: Some(LintReport { diags }),
+            ..Default::default()
+        };
+        // Linted + unlinted keeps the report; linted + linted merges
+        // and dedups repeated findings.
+        let mut s = LaunchStats::default();
+        s += linted(vec![diag.clone()]);
+        assert_eq!(s.lint.as_ref().unwrap().diags.len(), 1);
+        s += LaunchStats::default();
+        s += linted(vec![diag.clone()]);
+        assert_eq!(s.lint.as_ref().unwrap().diags, vec![diag]);
+    }
+
+    // The divide-by-zero / rounding semantics below feed SimLint's
+    // thresholds, so they are pinned explicitly for the degenerate
+    // launches where they used to be only implicitly defined.
+
+    #[test]
+    fn efficiency_of_a_busy_launch_with_no_active_lanes_is_zero() {
+        let c = ProfileCounters {
+            issued_slots: 7,
+            active_thread_slots: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.warp_execution_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn efficiency_is_exact_at_full_occupancy_and_never_nan() {
+        let c = ProfileCounters {
+            issued_slots: 1_000_000,
+            active_thread_slots: 32_000_000,
+            ..Default::default()
+        };
+        assert_eq!(c.warp_execution_efficiency(), 1.0);
+        // A single fully-active slot divides exactly (no rounding): 32/32.
+        let one = ProfileCounters {
+            issued_slots: 1,
+            active_thread_slots: 32,
+            ..Default::default()
+        };
+        assert_eq!(one.warp_execution_efficiency(), 1.0);
+        assert!(!ProfileCounters::default()
+            .warp_execution_efficiency()
+            .is_nan());
+    }
+
+    #[test]
+    fn transactions_per_request_degenerate_cases() {
+        // No requests at all — even with stray transaction counts the
+        // ratio is a defined 0.0, never inf/NaN.
+        let c = ProfileCounters {
+            gld_transactions: 5,
+            gst_transactions: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.gld_transactions_per_request(), 0.0);
+        assert_eq!(c.gst_transactions_per_request(), 0.0);
+        // Requests without transactions: exactly 0.0.
+        let c = ProfileCounters {
+            global_load_requests: 3,
+            global_store_requests: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.gld_transactions_per_request(), 0.0);
+        assert_eq!(c.gst_transactions_per_request(), 0.0);
+    }
+
+    #[test]
+    fn transactions_per_request_is_exact_for_sector_ratios() {
+        // Every ratio the replay can produce is a sum of integers
+        // divided by an integer; the common ones must round-trip
+        // exactly through f64 (32/1, 1/1, 4/32...).
+        let c = ProfileCounters {
+            global_load_requests: 1,
+            gld_transactions: 32,
+            global_store_requests: 32,
+            gst_transactions: 4,
+            ..Default::default()
+        };
+        assert_eq!(c.gld_transactions_per_request(), 32.0);
+        assert_eq!(c.gst_transactions_per_request(), 0.125);
+    }
+
+    #[test]
+    fn ratios_survive_large_counter_magnitudes() {
+        // A billion-slot sweep: u64 -> f64 conversion stays monotone and
+        // finite well past any realistic launch.
+        let c = ProfileCounters {
+            issued_slots: 1 << 40,
+            active_thread_slots: (1 << 40) * 8,
+            global_load_requests: 1 << 40,
+            gld_transactions: (1 << 40) * 3,
+            ..Default::default()
+        };
+        assert_eq!(c.warp_execution_efficiency(), 0.25);
+        assert_eq!(c.gld_transactions_per_request(), 3.0);
     }
 }

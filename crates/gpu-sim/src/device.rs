@@ -1,5 +1,6 @@
 use crate::counters::{LaunchStats, ProfileCounters};
 use crate::exec::{run_block, BlockCtx, BlockScratch, KernelConfig};
+use crate::lint::{build_report, LintConfig, LintObserver};
 use crate::mem::DeviceMem;
 use crate::schedule::schedule_blocks;
 use crate::{CostModel, SimError};
@@ -37,6 +38,12 @@ pub struct DeviceConfig {
     /// build their own launch configurations internally under the
     /// reference engine and compare against the default fused one.
     pub force_retained_trace: bool,
+    /// Force SimLint (see `gpu_sim::lint`) on for every launch on this
+    /// device, regardless of each launch's [`KernelConfig::lint`] flag —
+    /// the lint counterpart of `force_race_detection`. Conformance
+    /// harnesses use this to run algorithms that build their own launch
+    /// configurations internally under the diagnostics engine.
+    pub force_lints: bool,
     pub cost: CostModel,
 }
 
@@ -58,6 +65,7 @@ impl DeviceConfig {
             force_race_detection: false,
             force_sanitizer: false,
             force_retained_trace: false,
+            force_lints: false,
             cost: CostModel::v100(),
         }
     }
@@ -76,6 +84,7 @@ impl DeviceConfig {
             force_race_detection: false,
             force_sanitizer: false,
             force_retained_trace: false,
+            force_lints: false,
             cost: CostModel::rtx4090(),
         }
     }
@@ -128,6 +137,13 @@ impl Device {
     /// this device (see [`DeviceConfig::force_retained_trace`]).
     pub fn with_retained_trace(mut self) -> Self {
         self.config.force_retained_trace = true;
+        self
+    }
+
+    /// Force SimLint on for every launch on this device (see
+    /// [`DeviceConfig::force_lints`]).
+    pub fn with_lints(mut self) -> Self {
+        self.config.force_lints = true;
         self
     }
 
@@ -189,7 +205,8 @@ impl Device {
         // Each block runs independently; each rayon worker carries one
         // BlockScratch arena across every block it simulates, so the
         // steady-state replay loop allocates nothing.
-        let results: Result<Vec<(u64, ProfileCounters)>, SimError> = (0..cfg.grid_dim)
+        let results: Result<Vec<(u64, ProfileCounters, Option<LintObserver>)>, SimError> = (0..cfg
+            .grid_dim)
             .into_par_iter()
             .map_init(BlockScratch::default, |scratch, block_idx| {
                 run_block(self, mem, &cfg, block_idx, &kernel, scratch)
@@ -199,10 +216,20 @@ impl Device {
 
         let mut counters = ProfileCounters::default();
         let mut cycles = Vec::with_capacity(per_block.len());
-        for (c, pc) in per_block {
+        // Lint observers fold in block order (the collect above preserves
+        // it), so the merged per-phase aggregates — and the report built
+        // from them — are deterministic regardless of rayon scheduling.
+        let mut merged_lint: Option<LintObserver> = None;
+        for (c, pc, obs) in per_block {
             cycles.push(c);
             counters += pc;
+            match (&mut merged_lint, obs) {
+                (Some(acc), Some(o)) => acc.fold(&o),
+                (acc @ None, Some(o)) => *acc = Some(o),
+                (_, None) => {}
+            }
         }
+        let lint = merged_lint.map(|obs| build_report(&obs, mem, &LintConfig::default()));
 
         let parallel_slots = (self.config.num_sms * self.resident_blocks_per_sm(&cfg)) as usize;
         let compute_cycles = schedule_blocks(&cycles, parallel_slots);
@@ -221,6 +248,7 @@ impl Device {
             total_block_cycles: cycles.iter().sum(),
             blocks: cfg.grid_dim as u64,
             counters,
+            lint,
         })
     }
 }

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::lint::Diag;
 use crate::race::RaceKind;
 use crate::sanitize::SanitizerKind;
 
@@ -81,6 +82,14 @@ pub enum SimError {
         /// humanized address, or the host operation).
         pc_hint: String,
     },
+    /// SimLint's barrier-divergence verifier (see `gpu_sim::lint`)
+    /// caught live lanes of one block disagreeing on reaching an
+    /// explicit barrier ([`LaneCtx::sync_threads`](crate::LaneCtx::sync_threads))
+    /// within a phase — a lane retired or branched past a barrier its
+    /// siblings wait at. On real hardware this hangs the block, so like
+    /// [`SimError::DataRace`] it is fatal: the block poisons itself and
+    /// the launch fails with the structured diagnostic.
+    BarrierDivergence(Diag),
 }
 
 impl fmt::Display for SimError {
@@ -137,6 +146,13 @@ impl fmt::Display for SimError {
                     write!(f, " by lane {l}")?;
                 }
                 write!(f, " ({pc_hint})")
+            }
+            SimError::BarrierDivergence(d) => {
+                write!(f, "barrier divergence")?;
+                if let Some(b) = d.block {
+                    write!(f, " in block {b}")?;
+                }
+                write!(f, ": {} ({})", d.detail, d.pc_hint)
             }
         }
     }

@@ -1,5 +1,6 @@
 use crate::counters::ProfileCounters;
 use crate::device::Device;
+use crate::lint::{BarrierLint, LintObserver};
 use crate::mem::{BufId, Buffer, DeviceMem};
 use crate::race::{Access, RaceTracker};
 use crate::sanitize::{SanTracker, ShadowAccess};
@@ -36,6 +37,15 @@ pub struct KernelConfig {
     /// forced on for every launch on a [`Device::with_retained_trace`]
     /// device.
     pub retained_trace: bool,
+    /// Run this launch under SimLint (see `gpu_sim::lint`): the
+    /// barrier-divergence verifier plus the performance lint pass that
+    /// watches the replay stream for uncoalesced access, bank-conflict,
+    /// atomic-contention and low-occupancy hotspots. Off by default like
+    /// the other analyses; also forced on for every launch on a
+    /// [`Device::with_lints`] device. Zero-perturbation: lint observers
+    /// only read values the replay already computed, so counters and
+    /// cycles are byte-identical with lints on or off.
+    pub lint: bool,
 }
 
 impl KernelConfig {
@@ -47,6 +57,7 @@ impl KernelConfig {
             race_detect: false,
             sanitize: false,
             retained_trace: false,
+            lint: false,
         }
     }
 
@@ -71,6 +82,12 @@ impl KernelConfig {
     /// [`KernelConfig::retained_trace`]).
     pub fn with_retained_trace(mut self, on: bool) -> Self {
         self.retained_trace = on;
+        self
+    }
+
+    /// Toggle SimLint for this launch.
+    pub fn with_lints(mut self, on: bool) -> Self {
+        self.lint = on;
         self
     }
 }
@@ -103,10 +120,13 @@ pub struct BlockScratch {
     traces: Vec<LaneTrace>,
     l1: Vec<u64>,
     replay: ReplayScratch,
+    /// Per-lane retirement flags (see [`LaneCtx::retire`]): a retired
+    /// lane is skipped by every later phase of its block.
+    retired: Vec<bool>,
 }
 
 impl BlockScratch {
-    fn reset(&mut self, shared_words: usize, trace_lanes: usize, l1_len: usize) {
+    fn reset(&mut self, shared_words: usize, trace_lanes: usize, l1_len: usize, block_dim: usize) {
         self.shared.clear();
         self.shared.resize(shared_words, 0);
         // Keep the per-lane op buffers (the hot allocation) alive across
@@ -118,6 +138,8 @@ impl BlockScratch {
         self.traces.resize_with(trace_lanes, LaneTrace::default);
         self.l1.clear();
         self.l1.resize(l1_len, u64::MAX);
+        self.retired.clear();
+        self.retired.resize(block_dim, false);
     }
 }
 
@@ -172,10 +194,20 @@ pub(crate) struct FusedSink<'a> {
     cycles: u64,
     /// Max replay cycles over the warps seen so far this phase.
     phase_cycles: u64,
+    /// SimLint performance observer (`Some` when the launch enabled
+    /// lints): fed per replay slot, phase-advanced at the barrier. Both
+    /// sinks replay a phase's warps in the same order and advance the
+    /// observer at the same point, so the reports are engine-identical.
+    lint: Option<&'a mut LintObserver>,
 }
 
 impl<'a> FusedSink<'a> {
-    fn new(traces: &'a mut [LaneTrace], replay: &'a mut ReplayScratch, cost: CostModel) -> Self {
+    fn new(
+        traces: &'a mut [LaneTrace],
+        replay: &'a mut ReplayScratch,
+        cost: CostModel,
+        lint: Option<&'a mut LintObserver>,
+    ) -> Self {
         FusedSink {
             traces,
             replay,
@@ -183,6 +215,7 @@ impl<'a> FusedSink<'a> {
             counters: ProfileCounters::default(),
             cycles: 0,
             phase_cycles: 0,
+            lint,
         }
     }
 }
@@ -194,7 +227,12 @@ impl PhaseSink for FusedSink<'_> {
     }
 
     fn warp_complete(&mut self) {
-        let (cycles, counters) = replay_warp(self.traces, &self.cost, self.replay);
+        let (cycles, counters) = replay_warp(
+            self.traces,
+            &self.cost,
+            self.replay,
+            self.lint.as_deref_mut(),
+        );
         self.phase_cycles = self.phase_cycles.max(cycles);
         self.counters += counters;
         for t in self.traces.iter_mut() {
@@ -205,6 +243,12 @@ impl PhaseSink for FusedSink<'_> {
     fn end_phase(&mut self) {
         self.cycles += self.phase_cycles;
         self.phase_cycles = 0;
+        if let Some(obs) = self.lint.as_deref_mut() {
+            obs.end_phase(
+                self.counters.issued_slots,
+                self.counters.active_thread_slots,
+            );
+        }
     }
 
     fn finish(&mut self) -> (u64, ProfileCounters) {
@@ -220,16 +264,25 @@ pub(crate) struct RetainedSink<'a> {
     cost: CostModel,
     counters: ProfileCounters,
     cycles: u64,
+    /// SimLint performance observer, fed exactly like [`FusedSink`]'s:
+    /// same warp order, same phase-advance point, identical reports.
+    lint: Option<&'a mut LintObserver>,
 }
 
 impl<'a> RetainedSink<'a> {
-    fn new(traces: &'a mut [LaneTrace], replay: &'a mut ReplayScratch, cost: CostModel) -> Self {
+    fn new(
+        traces: &'a mut [LaneTrace],
+        replay: &'a mut ReplayScratch,
+        cost: CostModel,
+        lint: Option<&'a mut LintObserver>,
+    ) -> Self {
         RetainedSink {
             traces,
             replay,
             cost,
             counters: ProfileCounters::default(),
             cycles: 0,
+            lint,
         }
     }
 }
@@ -245,13 +298,20 @@ impl PhaseSink for RetainedSink<'_> {
     fn end_phase(&mut self) {
         let mut phase_cycles = 0u64;
         for warp in self.traces.chunks(WARP_SIZE) {
-            let (cycles, counters) = replay_warp(warp, &self.cost, self.replay);
+            let (cycles, counters) =
+                replay_warp(warp, &self.cost, self.replay, self.lint.as_deref_mut());
             phase_cycles = phase_cycles.max(cycles);
             self.counters += counters;
         }
         self.cycles += phase_cycles;
         for t in self.traces.iter_mut() {
             t.clear();
+        }
+        if let Some(obs) = self.lint.as_deref_mut() {
+            obs.end_phase(
+                self.counters.issued_slots,
+                self.counters.active_thread_slots,
+            );
         }
     }
 
@@ -285,6 +345,13 @@ pub struct BlockCtx<'a> {
     /// SimSan (`Some` when the launch enabled the sanitizer): vets every
     /// access against the shadow state and poisons the block on a report.
     san: Option<SanTracker>,
+    /// SimLint barrier-divergence verifier (`Some` when the launch
+    /// enabled lints): tracks per-lane barrier arrivals each phase and
+    /// poisons the block when live lanes disagree on reaching a barrier.
+    lint: Option<BarrierLint>,
+    /// Per-lane retirement flags: a lane that called [`LaneCtx::retire`]
+    /// is skipped by every later phase (it has exited the kernel).
+    retired: &'a mut Vec<bool>,
     /// Each warp's slice of the SM's L1 cache, direct-mapped by sector
     /// (concatenated per warp). Captures both the spatial reuse of
     /// sequential scans (a merge re-reads each 32-byte sector ~8 times)
@@ -339,12 +406,19 @@ impl<'a> BlockCtx<'a> {
                     // partially recorded warp is never replayed.
                     break 'warps;
                 }
+                if self.retired[tid as usize] {
+                    // The lane exited the kernel in an earlier phase.
+                    tid += 1;
+                    continue;
+                }
                 let mut lane = LaneCtx {
                     mem: self.mem,
                     shared: self.shared,
                     trace: self.sink.lane_trace(tid),
                     race: &mut self.race,
                     san: &mut self.san,
+                    lint: &mut self.lint,
+                    retired: &mut self.retired[tid as usize],
                     l1: &mut self.l1[l1_base..l1_base + self.l1_slice],
                     buf_cache: None,
                     tid,
@@ -374,6 +448,16 @@ impl<'a> BlockCtx<'a> {
         if let Some(t) = self.san.as_mut() {
             t.end_phase();
         }
+        if let Some(t) = self.lint.as_mut() {
+            // A fault truncates the phase mid-warp, so the lanes that
+            // never ran would look divergent; the original fault wins
+            // and the verifier's verdict is dropped.
+            if let Some(err) = t.end_phase(self.block_idx) {
+                if self.fault.is_none() {
+                    self.fault = Some(err);
+                }
+            }
+        }
         self.sink.end_phase();
     }
 }
@@ -387,6 +471,9 @@ pub struct LaneCtx<'a, 'b> {
     trace: &'b mut LaneTrace,
     race: &'b mut Option<RaceTracker>,
     san: &'b mut Option<SanTracker>,
+    lint: &'b mut Option<BarrierLint>,
+    /// This lane's retirement flag (see [`LaneCtx::retire`]).
+    retired: &'b mut bool,
     l1: &'b mut [u64],
     /// One-entry cache of the last buffer this lane touched through a
     /// global accessor. Nearly every global access of a scan or probe
@@ -601,6 +688,65 @@ impl<'a> LaneCtx<'a, '_> {
     pub fn converge(&mut self) {
         self.flush_compute();
         self.trace.push(Op::Converge);
+    }
+
+    /// An explicit mid-phase `__syncthreads()` arrival point. Within the
+    /// phase model every [`BlockCtx::phase`] already ends in a block-wide
+    /// barrier; kernels whose control flow makes some lanes *skip* a
+    /// barrier (the classic divergent-barrier bug) express the arrival
+    /// with this call. It records a [`Op::Converge`] re-alignment marker
+    /// unconditionally (so the cycle model is identical lints on or
+    /// off); under SimLint the barrier-divergence verifier additionally
+    /// counts the arrival, and at the end of the phase every live lane
+    /// must have arrived the same number of times or the block fails
+    /// with [`SimError::BarrierDivergence`] — on real hardware, the
+    /// lanes that did arrive wait forever.
+    #[inline]
+    pub fn sync_threads(&mut self) {
+        self.flush_compute();
+        if self.poisoned() {
+            return;
+        }
+        self.trace.push(Op::Converge);
+        if self.lint.is_some() {
+            self.sync_threads_slow();
+        }
+    }
+
+    #[inline(never)]
+    fn sync_threads_slow(&mut self) {
+        let tid = self.tid;
+        if let Some(t) = self.lint.as_mut() {
+            t.arrive(tid);
+        }
+    }
+
+    /// Retire this lane for the rest of the launch: it is skipped by
+    /// every later phase, like a CUDA thread returning from the kernel
+    /// while its block keeps running. Retirement is legal when the
+    /// remaining phases place no barrier the lane was counted on; a lane
+    /// that retires while siblings still arrive at a
+    /// [`LaneCtx::sync_threads`] barrier in the same phase is exactly
+    /// the divergence SimLint's verifier reports. The caller should
+    /// `return` from the phase closure right after calling this.
+    #[inline]
+    pub fn retire(&mut self) {
+        self.flush_compute();
+        if self.poisoned() {
+            return;
+        }
+        *self.retired = true;
+        if self.lint.is_some() {
+            self.retire_slow();
+        }
+    }
+
+    #[inline(never)]
+    fn retire_slow(&mut self) {
+        let tid = self.tid;
+        if let Some(t) = self.lint.as_mut() {
+            t.retire(tid);
+        }
     }
 
     /// Resolve `buf` through the lane's one-entry buffer cache (see
@@ -926,7 +1072,7 @@ pub(crate) fn run_block<F>(
     block_idx: u32,
     kernel: &F,
     scratch: &mut BlockScratch,
-) -> Result<(u64, ProfileCounters), SimError>
+) -> Result<(u64, ProfileCounters, Option<LintObserver>), SimError>
 where
     F: Fn(&mut BlockCtx<'_>) + Sync,
 {
@@ -945,21 +1091,29 @@ where
     } else {
         (cfg.block_dim as usize).min(WARP_SIZE)
     };
-    scratch.reset(cfg.shared_words as usize, trace_lanes, warps * l1_slice);
+    scratch.reset(
+        cfg.shared_words as usize,
+        trace_lanes,
+        warps * l1_slice,
+        cfg.block_dim as usize,
+    );
     let BlockScratch {
         shared,
         traces,
         l1,
         replay,
+        retired,
     } = scratch;
     let cost = dev.config().cost;
+    let lint_on = cfg.lint || dev.config().force_lints;
+    let mut lint_obs = lint_on.then(LintObserver::new);
     let mut fused;
     let mut two_pass;
     let sink: &mut dyn PhaseSink = if retained {
-        two_pass = RetainedSink::new(traces, replay, cost);
+        two_pass = RetainedSink::new(traces, replay, cost, lint_obs.as_mut());
         &mut two_pass
     } else {
-        fused = FusedSink::new(traces, replay, cost);
+        fused = FusedSink::new(traces, replay, cost, lint_obs.as_mut());
         &mut fused
     };
     let mut blk = BlockCtx {
@@ -973,6 +1127,8 @@ where
             .then(|| RaceTracker::new(cfg.shared_words as usize)),
         san: (cfg.sanitize || dev.config().force_sanitizer)
             .then(|| SanTracker::new(cfg.shared_words as usize)),
+        lint: lint_on.then(|| BarrierLint::new(cfg.block_dim)),
+        retired,
         l1,
         l1_slice,
         fault: None,
@@ -989,10 +1145,17 @@ where
         counters.sanitizer_checks += t.checks;
         counters.sanitizer_reports += t.reports;
     }
-    if let Some(err) = blk.fault {
+    if let Some(t) = &blk.lint {
+        counters.lint_checks += t.checks;
+    }
+    let fault = blk.fault;
+    if let Some(err) = fault {
         return Err(err);
     }
-    Ok((cycles, counters))
+    if let Some(obs) = &lint_obs {
+        counters.lint_checks += obs.checks;
+    }
+    Ok((cycles, counters, lint_obs))
 }
 
 /// A warp holds at most [`WARP_SIZE`] lanes and each lane contributes at
@@ -1329,6 +1492,7 @@ fn replay_warp(
     traces: &[LaneTrace],
     cost: &CostModel,
     scratch: &mut ReplayScratch,
+    mut lint: Option<&mut LintObserver>,
 ) -> (u64, ProfileCounters) {
     let mut counters = ProfileCounters::default();
     let mut cycles = 0u64;
@@ -1399,38 +1563,59 @@ fn replay_warp(
                     counters.issued_slots += 1;
                     counters.active_thread_slots += 1;
                     match op {
-                        Op::GLoad(_) => {
+                        Op::GLoad(addr) => {
                             counters.global_load_requests += 1;
                             counters.gld_transactions += 1;
                             counters.dram_load_sectors += 1;
                             cycles += cost.global_load_slot(1, 1);
+                            if let Some(obs) = lint.as_deref_mut() {
+                                obs.global_load(1, (addr >> SECTOR_SHIFT) << SECTOR_SHIFT);
+                            }
                         }
-                        Op::GLoadHit(_) => {
+                        Op::GLoadHit(addr) => {
                             counters.global_load_requests += 1;
                             counters.gld_transactions += 1;
                             cycles += cost.global_load_slot(1, 0);
+                            if let Some(obs) = lint.as_deref_mut() {
+                                obs.global_load(1, (addr >> SECTOR_SHIFT) << SECTOR_SHIFT);
+                            }
                         }
-                        Op::GStore(_) => {
+                        Op::GStore(addr) => {
                             counters.global_store_requests += 1;
                             counters.gst_transactions += 1;
                             cycles += cost.global_slot(1);
+                            if let Some(obs) = lint.as_deref_mut() {
+                                obs.global_store(1, (addr >> SECTOR_SHIFT) << SECTOR_SHIFT);
+                            }
                         }
-                        Op::GAtomic(_) => {
+                        Op::GAtomic(addr) => {
                             counters.global_atomic_requests += 1;
                             counters.dram_atomic_sectors += 1;
                             cycles += cost.global_atomic_slot(1);
+                            if let Some(obs) = lint.as_deref_mut() {
+                                obs.global_atomic(1, addr);
+                            }
                         }
-                        Op::SLoad(_) => {
+                        Op::SLoad(idx) => {
                             counters.shared_load_requests += 1;
                             cycles += cost.shared_slot(1);
+                            if let Some(obs) = lint.as_deref_mut() {
+                                obs.shared_access(1, idx as u64);
+                            }
                         }
-                        Op::SStore(_) => {
+                        Op::SStore(idx) => {
                             counters.shared_store_requests += 1;
                             cycles += cost.shared_slot(1);
+                            if let Some(obs) = lint.as_deref_mut() {
+                                obs.shared_access(1, idx as u64);
+                            }
                         }
-                        Op::SAtomic(_) => {
+                        Op::SAtomic(idx) => {
                             counters.shared_atomic_requests += 1;
                             cycles += cost.shared_atomic_slot(1);
+                            if let Some(obs) = lint.as_deref_mut() {
+                                obs.shared_atomic(1, idx as u64);
+                            }
                         }
                         Op::Compute(_) | Op::Converge => unreachable!(),
                     }
@@ -1531,6 +1716,11 @@ fn replay_warp(
         let [gl, gh, gs, ga, sl, ss, sa] = &mut step.kind;
         if !gl.is_empty() || !gh.is_empty() {
             issue((gl.len + gh.len) as u64);
+            // The distinct pass below may reorder the lists, so the
+            // lint's representative site (lane 0's sector) is captured
+            // first. The lists hold sector ids; the site is the sector's
+            // base byte address.
+            let rep_site = if gl.is_empty() { gh.buf[0] } else { gl.buf[0] } << SECTOR_SHIFT;
             // nvprof's gld_transactions counts wavefronts (distinct
             // sectors addressed) regardless of cache hits; the DRAM floor
             // charges only the miss half. One fused scan yields both.
@@ -1540,16 +1730,24 @@ fn replay_warp(
             counters.gld_transactions += total_sectors;
             counters.dram_load_sectors += miss_sectors;
             cycles += cost.global_load_slot(total_sectors, miss_sectors);
+            if let Some(obs) = lint.as_deref_mut() {
+                obs.global_load(total_sectors, rep_site);
+            }
         }
         if !gs.is_empty() {
             issue(gs.len as u64);
+            let rep_site = gs.buf[0] << SECTOR_SHIFT;
             let sectors = distinct_split(gs.as_mut_slice(), &mut []).1;
             counters.global_store_requests += 1;
             counters.gst_transactions += sectors;
             cycles += cost.global_slot(sectors);
+            if let Some(obs) = lint.as_deref_mut() {
+                obs.global_store(sectors, rep_site);
+            }
         }
         if !ga.is_empty() {
             issue(ga.len as u64);
+            let rep_site = ga.buf[0];
             let depth = max_same_addr_depth(ga.as_slice());
             counters.global_atomic_requests += 1;
             // Atomics are resolved in L2 but still move their sectors
@@ -1557,24 +1755,39 @@ fn replay_warp(
             // bandwidth floor alongside load and store traffic.
             counters.dram_atomic_sectors += count_sectors(ga.as_slice());
             cycles += cost.global_atomic_slot(depth);
+            if let Some(obs) = lint.as_deref_mut() {
+                obs.global_atomic(depth, rep_site);
+            }
         }
         if !sl.is_empty() {
             issue(sl.len as u64);
+            let rep_site = sl.buf[0];
             let ways = bank_conflict_ways(sl.as_mut_slice());
             counters.shared_load_requests += 1;
             cycles += cost.shared_slot(ways);
+            if let Some(obs) = lint.as_deref_mut() {
+                obs.shared_access(ways, rep_site);
+            }
         }
         if !ss.is_empty() {
             issue(ss.len as u64);
+            let rep_site = ss.buf[0];
             let ways = bank_conflict_ways(ss.as_mut_slice());
             counters.shared_store_requests += 1;
             cycles += cost.shared_slot(ways);
+            if let Some(obs) = lint.as_deref_mut() {
+                obs.shared_access(ways, rep_site);
+            }
         }
         if !sa.is_empty() {
             issue(sa.len as u64);
+            let rep_site = sa.buf[0];
             let depth = max_same_addr_depth(sa.as_slice());
             counters.shared_atomic_requests += 1;
             cycles += cost.shared_atomic_slot(depth);
+            if let Some(obs) = lint.as_deref_mut() {
+                obs.shared_atomic(depth, rep_site);
+            }
         }
         // Reset only the lists this step touched.
         let mut used = kinds;
@@ -1627,7 +1840,12 @@ mod tests {
     }
 
     fn replay(traces: &[LaneTrace]) -> (u64, ProfileCounters) {
-        replay_warp(traces, &CostModel::v100(), &mut ReplayScratch::default())
+        replay_warp(
+            traces,
+            &CostModel::v100(),
+            &mut ReplayScratch::default(),
+            None,
+        )
     }
 
     #[test]
@@ -1887,9 +2105,9 @@ mod tests {
         let mut scratch = ReplayScratch::default();
         let cost = CostModel::v100();
         let first = vec![trace_of(&[Op::Compute(9), Op::GLoad(0)]); 32];
-        let _ = replay_warp(&first, &cost, &mut scratch);
+        let _ = replay_warp(&first, &cost, &mut scratch, None);
         let second = vec![trace_of(&[Op::Compute(1)])];
-        let (cycles, c) = replay_warp(&second, &cost, &mut scratch);
+        let (cycles, c) = replay_warp(&second, &cost, &mut scratch, None);
         assert_eq!(c.issued_slots, 1);
         assert_eq!(c.active_thread_slots, 1);
         assert_eq!(cycles, cost.compute);
@@ -1927,11 +2145,11 @@ mod replay_microbench {
         let t0 = std::time::Instant::now();
         let mut acc = 0u64;
         for _ in 0..reps {
-            let (cycles, c) = replay_warp(&traces, &cost, &mut scratch);
+            let (cycles, c) = replay_warp(&traces, &cost, &mut scratch, None);
             acc = acc.wrapping_add(cycles).wrapping_add(c.active_thread_slots);
         }
         let dt = t0.elapsed();
-        let (_, c1) = replay_warp(&traces, &cost, &mut scratch);
+        let (_, c1) = replay_warp(&traces, &cost, &mut scratch, None);
         let steps = c1.issued_slots;
         println!(
             "replay: {reps} reps x {} ops ({} issued slots) in {:?} -> {:.1} ns/slot (acc {acc})",

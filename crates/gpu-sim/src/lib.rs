@@ -65,6 +65,7 @@ mod counters;
 mod device;
 mod error;
 mod exec;
+mod lint;
 mod mem;
 mod race;
 mod sanitize;
@@ -76,6 +77,7 @@ pub use counters::{LaunchStats, ProfileCounters};
 pub use device::{Device, DeviceConfig};
 pub use error::SimError;
 pub use exec::{global_thread_id, BlockCtx, BlockScratch, KernelConfig, LaneCtx};
+pub use lint::{Diag, LintConfig, LintReport, LintRule};
 pub use mem::{BufId, DeviceMem};
 pub use race::RaceKind;
 pub use sanitize::SanitizerKind;

@@ -424,6 +424,24 @@ impl DeviceMem {
         self.buffers[id.0].addr_of(idx)
     }
 
+    /// Reverse lookup for diagnostics: which live buffer (and word index
+    /// within it) owns a flat byte address. Only the *data* extent
+    /// counts — redzone padding and freed extents resolve to `None`, so
+    /// a diagnostic never names a buffer the address isn't really in.
+    pub(crate) fn locate(&self, addr: u64) -> Option<(&str, usize)> {
+        self.buffers.iter().find_map(|b| {
+            if b.freed {
+                return None;
+            }
+            let end = b.base + (b.data.len() as u64) * 4;
+            if addr >= b.base && addr < end {
+                Some((b.name.as_str(), ((addr - b.base) / 4) as usize))
+            } else {
+                None
+            }
+        })
+    }
+
     /// Resolve a handle to its buffer. The record path caches the
     /// returned reference per lane (sound: every lane holds `&DeviceMem`
     /// for the whole launch, so the buffer table cannot change under it).
@@ -733,6 +751,24 @@ mod tests {
         assert_eq!(mem.addr_of(a, 0) % ALLOC_ALIGN, 0);
         assert_eq!(mem.addr_of(b, 0) % ALLOC_ALIGN, 0);
         assert_ne!(mem.addr_of(a, 0), mem.addr_of(b, 0));
+    }
+
+    #[test]
+    fn locate_resolves_data_words_but_not_redzone_or_freed() {
+        let dev = small_device();
+        let mut mem = DeviceMem::new(&dev);
+        let a = mem.alloc_zeroed(4, "a").unwrap();
+        let b = mem.alloc_zeroed(4, "b").unwrap();
+        assert_eq!(mem.locate(mem.addr_of(a, 0)), Some(("a", 0)));
+        assert_eq!(mem.locate(mem.addr_of(a, 3) + 2), Some(("a", 3)));
+        assert_eq!(mem.locate(mem.addr_of(b, 1)), Some(("b", 1)));
+        // Redzone (words [4, 64) of the padded extent) is nobody's data.
+        assert_eq!(mem.locate(mem.addr_of(a, 0) + 4 * 4), None);
+        mem.free(a).unwrap();
+        assert_eq!(mem.locate(0), None);
+        // A reused extent resolves to the new owner, not the freed one.
+        let c = mem.alloc_zeroed(4, "c").unwrap();
+        assert_eq!(mem.locate(mem.addr_of(c, 0)), Some(("c", 0)));
     }
 
     #[test]

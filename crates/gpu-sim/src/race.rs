@@ -46,6 +46,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::lint::SourceLoc;
 use crate::SimError;
 
 /// Classification of a detected conflict: which address space, and
@@ -237,7 +238,7 @@ impl RaceTracker {
             addr: idx as u64,
             kind,
             lanes: (other, lane),
-            pc_hint: format!("phase {phase}, shared[{idx}]"),
+            pc_hint: SourceLoc::Shared { phase, idx }.to_string(),
         })
     }
 
@@ -268,7 +269,7 @@ impl RaceTracker {
             addr,
             kind,
             lanes: (other, lane),
-            pc_hint: format!("phase {phase}, `{buffer}`[{idx}]"),
+            pc_hint: SourceLoc::Global { phase, buffer, idx }.to_string(),
         })
     }
 }

@@ -49,6 +49,7 @@
 
 use std::fmt;
 
+use crate::lint::SourceLoc;
 use crate::SimError;
 
 /// What a sanitizer report is about.
@@ -162,7 +163,11 @@ impl SanTracker {
                 buffer: "shared".to_string(),
                 word: idx,
                 lane: Some(lane),
-                pc_hint: format!("phase {}, shared[{idx}]", self.phase),
+                pc_hint: SourceLoc::Shared {
+                    phase: self.phase,
+                    idx,
+                }
+                .to_string(),
             });
         }
         // Any store or RMW defines the word from here on.
@@ -199,7 +204,12 @@ impl SanTracker {
             buffer: buffer.to_string(),
             word: idx,
             lane: Some(lane),
-            pc_hint: format!("phase {}, `{buffer}`[{idx}]", self.phase),
+            pc_hint: SourceLoc::Global {
+                phase: self.phase,
+                buffer,
+                idx,
+            }
+            .to_string(),
         })
     }
 }

@@ -46,7 +46,7 @@ pub struct AlgoMeta {
 
 /// Result of a full triangle-count run: the exact count plus the merged
 /// launch statistics of every kernel the implementation issued.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TcOutput {
     pub triangles: u64,
     pub stats: LaunchStats,

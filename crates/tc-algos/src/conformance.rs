@@ -82,12 +82,17 @@ pub fn generator_cases() -> Vec<ConformanceCase> {
     ]
 }
 
-/// Run `algo` on `dag` end to end with the data-race detector and SimSan
-/// forced on, then free the graph and leak-check the device: an
-/// algorithm that abandons a scratch buffer fails here with
-/// [`SimError::Sanitizer`] (leak).
+/// Run `algo` on `dag` end to end with the data-race detector, SimSan
+/// and SimLint forced on, then free the graph and leak-check the
+/// device: an algorithm that abandons a scratch buffer fails here with
+/// [`SimError::Sanitizer`] (leak), and one whose lanes disagree on a
+/// barrier fails with [`SimError::BarrierDivergence`]. Performance
+/// lints are advisory and land in `TcOutput::stats.lint`.
 pub fn run_checked(algo: &dyn TcAlgorithm, dag: &DagGraph) -> Result<TcOutput, SimError> {
-    let dev = Device::v100().with_race_detection().with_sanitizer();
+    let dev = Device::v100()
+        .with_race_detection()
+        .with_sanitizer()
+        .with_lints();
     let mut mem = DeviceMem::new(&dev);
     let dg = DeviceGraph::upload(dag, &mut mem)?;
     let out = algo.count(&dev, &mut mem, &dg)?;
@@ -137,9 +142,9 @@ fn cpu_count_checked(algo: &dyn TcAlgorithm, case: &ConformanceCase, dag: &DagGr
 /// Differential check: the GPU count must equal the CPU node-iterator
 /// baseline (an implementation independent of orientation and of every
 /// GPU intersection strategy), and the algorithm's native host kernel
-/// must agree with both. Returns the race-detector and sanitizer check
-/// counts so callers can prove both were live.
-pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> (u64, u64) {
+/// must agree with both. Returns the race-detector, sanitizer and lint
+/// check counts so callers can prove all three were live.
+pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> (u64, u64, u64) {
     let (g, _) = clean_edges(&case.edges);
     let expected = cpu_ref::node_iterator(&g);
     let dag = orient(&g, algo.preferred_orientation());
@@ -167,9 +172,16 @@ pub fn check_differential(algo: &dyn TcAlgorithm, case: &ConformanceCase) -> (u6
         algo.name(),
         case.name,
     );
+    assert!(
+        out.stats.counters.lint_checks > 0,
+        "{}: SimLint performed no checks on `{}` — lint wiring is broken",
+        algo.name(),
+        case.name,
+    );
     (
         out.stats.counters.race_checks,
         out.stats.counters.sanitizer_checks,
+        out.stats.counters.lint_checks,
     )
 }
 
@@ -339,6 +351,9 @@ pub struct ConformanceStats {
     /// SimSan checks accumulated across the differential runs — nonzero
     /// proves the suite actually ran sanitized.
     pub sanitizer_checks: u64,
+    /// SimLint checks accumulated across the differential runs — nonzero
+    /// proves the suite actually ran under the diagnostics engine.
+    pub lint_checks: u64,
 }
 
 /// Run the full conformance suite for one algorithm: differential on
@@ -350,11 +365,13 @@ pub fn run_all(algo: &dyn TcAlgorithm) -> ConformanceStats {
         cpu_runs: 0,
         race_checks: 0,
         sanitizer_checks: 0,
+        lint_checks: 0,
     };
     for case in generator_cases() {
-        let (race_checks, sanitizer_checks) = check_differential(algo, &case);
+        let (race_checks, sanitizer_checks, lint_checks) = check_differential(algo, &case);
         stats.race_checks += race_checks;
         stats.sanitizer_checks += sanitizer_checks;
+        stats.lint_checks += lint_checks;
         stats.runs += 1;
         stats.cpu_runs += 1;
         if case.metamorphic {

@@ -11,6 +11,7 @@
 //! full sweep simulates ~170 kernel configurations.
 
 pub mod bench_json;
+pub mod lint_json;
 
 use gpu_sim::Device;
 use graph_data::{DatasetSpec, SizeClass, TABLE2_DATASETS};

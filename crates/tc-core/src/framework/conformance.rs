@@ -64,5 +64,6 @@ mod tests {
         );
         assert!(report.stats.race_checks > 0);
         assert!(report.stats.sanitizer_checks > 0);
+        assert!(report.stats.lint_checks > 0);
     }
 }

@@ -449,6 +449,78 @@ mod tests {
         }
     }
 
+    /// An "implementation" with a divergent barrier: odd lanes skip the
+    /// `sync_threads` their even siblings arrive at — on hardware the
+    /// block hangs; under SimLint's verifier the launch must fail.
+    struct DivergentAlgo;
+
+    impl tc_algos::api::TcAlgorithm for DivergentAlgo {
+        fn meta(&self) -> tc_algos::api::AlgoMeta {
+            tc_algos::api::AlgoMeta {
+                name: "divergent-probe",
+                reference: "synthetic barrier probe",
+                year: 2024,
+                iterator: tc_algos::api::IteratorKind::Edge,
+                intersection: tc_algos::api::Intersection::Merge,
+                granularity: tc_algos::api::Granularity::Fine,
+            }
+        }
+
+        fn count(
+            &self,
+            dev: &Device,
+            mem: &mut gpu_sim::DeviceMem,
+            _dg: &DeviceGraph,
+        ) -> Result<tc_algos::api::TcOutput, SimError> {
+            let stats = dev.launch(mem, gpu_sim::KernelConfig::new(1, 64), |blk| {
+                blk.phase(|lane| {
+                    lane.compute(1);
+                    if lane.tid() % 2 == 0 {
+                        lane.sync_threads();
+                    }
+                });
+            })?;
+            Ok(tc_algos::api::TcOutput {
+                triangles: 0,
+                stats,
+            })
+        }
+    }
+
+    #[test]
+    fn barrier_divergence_surfaces_as_failed_cell_and_csv_row() {
+        // On a lint-forced device the sweep must isolate the divergent
+        // cell as Failed(BarrierDivergence) with the structured Diag
+        // intact, and the CSV row must carry the diagnostic — while
+        // every registered algorithm still verifies on the same device.
+        let dev = Device::v100().with_lints();
+        let mut algos = all_algorithms();
+        algos.push(Box::new(DivergentAlgo));
+        let data = PreparedDataset::prepare(&tiny_spec());
+        let records: Vec<RunRecord> = algos
+            .iter()
+            .map(|a| run_on_dataset(&dev, a.as_ref(), &data))
+            .collect();
+        let divergent = records.last().unwrap();
+        match &divergent.outcome {
+            RunOutcome::Failed(SimError::BarrierDivergence(d)) => {
+                assert_eq!(d.rule, gpu_sim::LintRule::BarrierDivergence);
+                assert_eq!(d.block, Some(0));
+            }
+            other => panic!("expected Failed(BarrierDivergence), got {other:?}"),
+        }
+        assert!(
+            records[..records.len() - 1].iter().all(|r| r.is_verified()),
+            "the registered algorithms must verify under SimLint"
+        );
+        let mut out = Vec::new();
+        crate::framework::csv::write_records(&mut out, &records).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let row = text.lines().last().unwrap();
+        assert!(row.starts_with("divergent-probe,"), "row: {row}");
+        assert!(row.contains("\"failed: barrier divergence"), "row: {row}");
+    }
+
     #[test]
     fn sanitizer_report_surfaces_as_failed_cell_and_csv_row() {
         // On a sanitizer-forced device the sweep must isolate the buggy

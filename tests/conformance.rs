@@ -42,6 +42,12 @@ fn every_registered_algorithm_passes_differential_and_metamorphic_checks() {
              checking memory state",
             r.algorithm
         );
+        assert!(
+            r.stats.lint_checks > 0,
+            "{}: SimLint never engaged — the suite is not actually \
+             running the diagnostics engine",
+            r.algorithm
+        );
     }
 }
 

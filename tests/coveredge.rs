@@ -129,6 +129,7 @@ const GOLDEN: ProfileCounters = ProfileCounters {
     races_detected: 0,
     sanitizer_checks: 0,
     sanitizer_reports: 0,
+    lint_checks: 0,
 };
 
 #[test]
@@ -148,6 +149,7 @@ fn coveredge_snapshot_is_unchanged_under_the_sanitizer() {
     let masked = ProfileCounters {
         sanitizer_checks: 0,
         sanitizer_reports: 0,
+        lint_checks: 0,
         ..out.stats.counters
     };
     assert_eq!(masked, GOLDEN);

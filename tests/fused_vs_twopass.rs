@@ -9,8 +9,11 @@
 //! The two engines share the replay rules but differ in when replay
 //! runs and how lane buffers are recycled, so this test is the direct
 //! guard against the fusion ever drifting — with and without the
-//! data-race detector + SimSan engaged, since the analyses hook the
-//! record side and must not perturb either engine's accounting.
+//! data-race detector + SimSan + SimLint engaged, since the analyses
+//! hook the record side (and, for lints, observe the replay stream) and
+//! must not perturb either engine's accounting. The whole-`LaunchStats`
+//! equality includes the attached `LintReport`, so the lint findings
+//! themselves must be engine-identical too.
 //!
 //! Coverage: every registered algorithm (the list comes from the
 //! framework registry, so new algorithms enroll automatically) on three
@@ -42,10 +45,14 @@ fn assert_engines_agree(analyses_on: bool) {
     let cases = generator_cases();
     let (fused_dev, retained_dev) = if analyses_on {
         (
-            Device::v100().with_race_detection().with_sanitizer(),
             Device::v100()
                 .with_race_detection()
                 .with_sanitizer()
+                .with_lints(),
+            Device::v100()
+                .with_race_detection()
+                .with_sanitizer()
+                .with_lints()
                 .with_retained_trace(),
         )
     } else {
@@ -83,6 +90,16 @@ fn assert_engines_agree(analyses_on: bool) {
                 assert!(
                     fused_stats.counters.sanitizer_checks > 0,
                     "{} on `{name}`: SimSan never engaged",
+                    algo.name(),
+                );
+                assert!(
+                    fused_stats.counters.lint_checks > 0,
+                    "{} on `{name}`: SimLint never engaged",
+                    algo.name(),
+                );
+                assert!(
+                    fused_stats.lint.is_some(),
+                    "{} on `{name}`: lints on but no LintReport attached",
                     algo.name(),
                 );
             }

@@ -46,6 +46,7 @@ const GOLDEN: ProfileCounters = ProfileCounters {
     races_detected: 0,
     sanitizer_checks: 0,
     sanitizer_reports: 0,
+    lint_checks: 0,
 };
 
 #[test]
@@ -86,6 +87,7 @@ fn grouptc_snapshot_is_unchanged_under_the_sanitizer() {
     let masked = ProfileCounters {
         sanitizer_checks: 0,
         sanitizer_reports: 0,
+        lint_checks: 0,
         ..out.stats.counters
     };
     assert_eq!(masked, GOLDEN);

@@ -1,9 +1,11 @@
-//! SimSan's zero-perturbation property, checked statistically: for every
-//! registered algorithm on random graphs, a sanitized run must produce
-//! byte-identical results, cycles and modelled counters to the plain run
-//! (modulo the sanitizer's own bookkeeping fields). The checks observe —
-//! they never push trace ops, touch the L1 model, or add cycles — and
-//! this test is what keeps that true as the instrumentation evolves.
+//! SimSan's and SimLint's zero-perturbation property, checked
+//! statistically: for every registered algorithm on random graphs, a
+//! sanitized (or linted) run must produce byte-identical results, cycles
+//! and modelled counters to the plain run (modulo each analysis's own
+//! bookkeeping fields and, for lints, the attached `LintReport`). The
+//! checks observe — they never push trace ops, touch the L1 model, or
+//! add cycles — and this test is what keeps that true as the
+//! instrumentation evolves.
 
 use proptest::prelude::*;
 
@@ -47,6 +49,7 @@ proptest! {
             let masked = ProfileCounters {
                 sanitizer_checks: 0,
                 sanitizer_reports: 0,
+                lint_checks: 0,
                 ..san.stats.counters
             };
             prop_assert_eq!(
@@ -67,6 +70,53 @@ proptest! {
             );
             prop_assert_eq!(san.stats.counters.sanitizer_reports, 0u64);
             prop_assert_eq!(plain.stats.counters.sanitizer_checks, 0u64);
+        }
+    }
+
+    #[test]
+    fn linted_runs_are_byte_identical_to_plain_runs(raw in raw_edges()) {
+        for algo in all_algorithms() {
+            let plain = run(algo.as_ref(), &Device::v100(), &raw);
+            let linted = run(algo.as_ref(), &Device::v100().with_lints(), &raw);
+
+            // Zero perturbation: the cycle model and every modelled
+            // counter are byte-identical with lints forced on; only the
+            // lint's own bookkeeping field and the attached report may
+            // differ.
+            prop_assert_eq!(linted.triangles, plain.triangles, "{}", algo.name());
+            prop_assert_eq!(
+                linted.stats.kernel_cycles, plain.stats.kernel_cycles,
+                "{}: cycles perturbed by SimLint", algo.name()
+            );
+            prop_assert_eq!(
+                linted.stats.total_block_cycles, plain.stats.total_block_cycles,
+                "{}: block cycles perturbed by SimLint", algo.name()
+            );
+            let masked = ProfileCounters {
+                lint_checks: 0,
+                ..linted.stats.counters
+            };
+            prop_assert_eq!(
+                masked, plain.stats.counters,
+                "{}: counters perturbed by SimLint", algo.name()
+            );
+
+            // Off by default: the plain run carries no lint state at
+            // all. On: a report is attached (possibly clean) and the
+            // engine demonstrably ran. (A degenerate graph may make an
+            // algorithm launch nothing at all — only require engagement
+            // when some block actually ran.)
+            prop_assert!(plain.stats.lint.is_none(), "{}", algo.name());
+            prop_assert_eq!(plain.stats.counters.lint_checks, 0u64);
+            let launched = linted.stats.blocks > 0;
+            prop_assert!(
+                !launched || linted.stats.lint.is_some(),
+                "{}: lints on but no report attached", algo.name()
+            );
+            prop_assert!(
+                !launched || linted.stats.counters.lint_checks > 0,
+                "{}: SimLint never engaged", algo.name()
+            );
         }
     }
 }
