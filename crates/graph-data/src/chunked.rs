@@ -1,0 +1,568 @@
+//! Out-of-core CSR storage.
+//!
+//! A [`ChunkedCsr`] keeps the `row_ptr` / `col_idx` arrays of a CSR in a
+//! spill file on disk (the same versioned `TCCSRv01` format
+//! [`crate::io::write_csr`] produces) and serves reads through a bounded
+//! chunk cache: fixed-size chunks of `u32` words are fetched with
+//! positioned reads (`pread`) on demand and evicted least-recently-used
+//! once the resident budget is reached. A pinned budget keeps the hottest
+//! prefix of the offsets array resident permanently, since every degree
+//! lookup touches it.
+//!
+//! `ChunkedCsr` implements [`CsrAccess`], the accessor trait the
+//! orientation and preparation pipeline is generic over, so datasets too
+//! large to hold in memory stream through `orient_access` / `dag()`
+//! unchanged.
+//!
+//! The file is fully validated at open time (header, exact file length,
+//! offsets monotonicity) so later chunk fetches can only fail on
+//! environmental I/O errors; those panic with context rather than
+//! threading `Result` through every accessor. The cache uses `RefCell`
+//! interior mutability and is therefore `!Sync`; clone-per-thread (each
+//! clone reopens the file with a cold cache) for parallel use.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+
+use crate::io::{read_csr_header, write_csr, CsrHeader};
+use crate::types::{Csr, CsrAccess, VertexId};
+
+/// Tuning knobs for the chunk cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkCacheConfig {
+    /// `u32` words per cached chunk (chunk size in bytes is 4x this).
+    pub chunk_words: usize,
+    /// Maximum number of unpinned resident chunks before LRU eviction.
+    pub max_resident: usize,
+    /// The first `pinned_chunks` chunks of the offsets region are pinned:
+    /// fetched on first touch and never evicted. Degree lookups hit the
+    /// offsets array twice per vertex, so pinning its prefix removes the
+    /// most repetitive I/O.
+    pub pinned_chunks: usize,
+}
+
+impl Default for ChunkCacheConfig {
+    fn default() -> Self {
+        ChunkCacheConfig {
+            // 16 Ki words = 64 KiB per chunk, ~4 MiB unpinned budget.
+            chunk_words: 1 << 14,
+            max_resident: 64,
+            pinned_chunks: 4,
+        }
+    }
+}
+
+/// Which on-disk array a chunk belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Region {
+    Offsets,
+    Targets,
+}
+
+#[derive(Debug)]
+struct CachedChunk {
+    words: Vec<u32>,
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct ChunkCache {
+    resident: HashMap<(Region, u64), CachedChunk>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Cache behaviour counters, exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Chunks currently resident (pinned included).
+    pub resident: usize,
+}
+
+/// A CSR whose arrays live in a spill file and are served through a
+/// bounded chunk cache. See the module docs for the contract.
+#[derive(Debug)]
+pub struct ChunkedCsr {
+    file: File,
+    path: PathBuf,
+    header: CsrHeader,
+    cfg: ChunkCacheConfig,
+    cache: RefCell<ChunkCache>,
+}
+
+#[cfg(unix)]
+fn pread(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, off)
+}
+
+#[cfg(windows)]
+fn pread(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match file.seek_read(&mut buf[filled..], off + filled as u64)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "spill file truncated under reader",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    Ok(())
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl ChunkedCsr {
+    /// Open a `TCCSRv01` spill file with the default cache configuration.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with(path, ChunkCacheConfig::default())
+    }
+
+    /// Open a `TCCSRv01` spill file. The header is read and validated,
+    /// the file length checked against the declared sizes, and the
+    /// offsets array stream-verified (monotone, starts at zero, ends at
+    /// the target count) — without materializing either array.
+    pub fn open_with(path: impl AsRef<Path>, cfg: ChunkCacheConfig) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let header = read_csr_header(&mut &file)?;
+        let actual = file.metadata()?.len();
+        if actual != header.file_len {
+            return Err(invalid(format!(
+                "spill file is {actual} byte(s) but the header declares {} \
+                 (truncated or trailing bytes)",
+                header.file_len
+            )));
+        }
+        validate_offsets_streamed(&file, &header)?;
+        let cfg = ChunkCacheConfig {
+            chunk_words: cfg.chunk_words.max(1),
+            max_resident: cfg.max_resident.max(1),
+            pinned_chunks: cfg.pinned_chunks,
+        };
+        Ok(ChunkedCsr {
+            file,
+            path,
+            header,
+            cfg,
+            cache: RefCell::new(ChunkCache::default()),
+        })
+    }
+
+    /// Write `csr` to `path` in the spill format and open it chunked.
+    pub fn spill(csr: &Csr, path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::spill_with(csr, path, ChunkCacheConfig::default())
+    }
+
+    /// [`ChunkedCsr::spill`] with an explicit cache configuration.
+    pub fn spill_with(
+        csr: &Csr,
+        path: impl AsRef<Path>,
+        cfg: ChunkCacheConfig,
+    ) -> io::Result<Self> {
+        let path = path.as_ref();
+        write_csr(BufWriter::new(File::create(path)?), csr)?;
+        Self::open_with(path, cfg)
+    }
+
+    /// The spill file backing this CSR.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn config(&self) -> ChunkCacheConfig {
+        self.cfg
+    }
+
+    pub fn num_vertices(&self) -> u32 {
+        self.header.num_vertices
+    }
+
+    pub fn num_entries(&self) -> u64 {
+        self.header.num_targets
+    }
+
+    /// Start index of `v`'s list in the flat target array.
+    pub fn offset(&self, v: VertexId) -> u32 {
+        assert!(v <= self.header.num_vertices, "vertex {v} out of range");
+        self.word(Region::Offsets, v as u64)
+    }
+
+    pub fn degree(&self, v: VertexId) -> u32 {
+        assert!(v < self.header.num_vertices, "vertex {v} out of range");
+        self.word(Region::Offsets, v as u64 + 1) - self.word(Region::Offsets, v as u64)
+    }
+
+    /// `v`'s neighbour list, gathered from the cache into a fresh `Vec`.
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.degree(v) as usize);
+        self.for_each_neighbor_impl(v, &mut |w| out.push(w));
+        out
+    }
+
+    pub fn cache_stats(&self) -> ChunkCacheStats {
+        let c = self.cache.borrow();
+        ChunkCacheStats {
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            resident: c.resident.len(),
+        }
+    }
+
+    fn for_each_neighbor_impl(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        let lo = self.offset(v) as u64;
+        let hi = self.word(Region::Offsets, v as u64 + 1) as u64;
+        let cw = self.cfg.chunk_words as u64;
+        let mut idx = lo;
+        while idx < hi {
+            let chunk = idx / cw;
+            let within = (idx % cw) as usize;
+            let take = (((chunk + 1) * cw).min(hi) - idx) as usize;
+            self.with_chunk(Region::Targets, chunk, |words| {
+                for &w in &words[within..within + take] {
+                    f(w);
+                }
+            });
+            idx += take as u64;
+        }
+    }
+
+    fn word(&self, region: Region, idx: u64) -> u32 {
+        let cw = self.cfg.chunk_words as u64;
+        self.with_chunk(region, idx / cw, |words| words[(idx % cw) as usize])
+    }
+
+    fn with_chunk<T>(&self, region: Region, chunk: u64, f: impl FnOnce(&[u32]) -> T) -> T {
+        let mut cache = self.cache.borrow_mut();
+        cache.clock += 1;
+        let stamp = cache.clock;
+        if cache.resident.contains_key(&(region, chunk)) {
+            cache.hits += 1;
+            let c = cache.resident.get_mut(&(region, chunk)).unwrap();
+            c.stamp = stamp;
+            return f(&c.words);
+        }
+        cache.misses += 1;
+        let words = self.fetch(region, chunk).unwrap_or_else(|e| {
+            panic!(
+                "I/O error reading spill file {} (validated at open): {e}",
+                self.path.display()
+            )
+        });
+        // Evict LRU unpinned chunks down to the budget before inserting.
+        let pinned =
+            |&(r, c): &(Region, u64)| r == Region::Offsets && c < self.cfg.pinned_chunks as u64;
+        while cache.resident.keys().filter(|k| !pinned(k)).count() >= self.cfg.max_resident {
+            let victim = cache
+                .resident
+                .iter()
+                .filter(|(k, _)| !pinned(k))
+                .min_by_key(|(_, c)| c.stamp)
+                .map(|(&k, _)| k)
+                .expect("unpinned chunk to evict");
+            cache.resident.remove(&victim);
+            cache.evictions += 1;
+        }
+        let entry = cache
+            .resident
+            .entry((region, chunk))
+            .or_insert(CachedChunk { words, stamp });
+        f(&entry.words)
+    }
+
+    fn fetch(&self, region: Region, chunk: u64) -> io::Result<Vec<u32>> {
+        let (base, total_words) = match region {
+            Region::Offsets => (
+                self.header.offsets_base,
+                self.header.num_vertices as u64 + 1,
+            ),
+            Region::Targets => (self.header.targets_base, self.header.num_targets),
+        };
+        let cw = self.cfg.chunk_words as u64;
+        let start = chunk * cw;
+        debug_assert!(
+            start < total_words,
+            "chunk {chunk} beyond {region:?} region"
+        );
+        let want = (total_words - start).min(cw) as usize;
+        let mut buf = vec![0u8; want * 4];
+        pread(&self.file, &mut buf, base + start * 4)?;
+        Ok(buf
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+impl CsrAccess for ChunkedCsr {
+    fn num_vertices(&self) -> u32 {
+        ChunkedCsr::num_vertices(self)
+    }
+
+    fn num_entries(&self) -> u64 {
+        ChunkedCsr::num_entries(self)
+    }
+
+    fn degree(&self, v: VertexId) -> u32 {
+        ChunkedCsr::degree(self, v)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        self.for_each_neighbor_impl(v, f)
+    }
+}
+
+/// Verify the offsets array in bounded slabs: starts at zero,
+/// non-decreasing, last entry equals the target count. Runs once at open
+/// so per-chunk fetches need no structural checks.
+fn validate_offsets_streamed(file: &File, header: &CsrHeader) -> io::Result<()> {
+    const SLAB_WORDS: usize = 1 << 15;
+    let total = header.num_vertices as u64 + 1;
+    let mut buf = vec![0u8; (SLAB_WORDS as u64).min(total) as usize * 4];
+    let mut prev: Option<u32> = None;
+    let mut read_words = 0u64;
+    while read_words < total {
+        let want = (total - read_words).min(SLAB_WORDS as u64) as usize;
+        pread(
+            file,
+            &mut buf[..want * 4],
+            header.offsets_base + read_words * 4,
+        )?;
+        for c in buf[..want * 4].chunks_exact(4) {
+            let w = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            if read_words == 0 && prev.is_none() && w != 0 {
+                return Err(invalid(
+                    "inconsistent CSR offsets: first entry nonzero".into(),
+                ));
+            }
+            if let Some(p) = prev {
+                if p > w {
+                    return Err(invalid(format!(
+                        "inconsistent CSR offsets: decreasing near word {read_words}"
+                    )));
+                }
+            }
+            prev = Some(w);
+        }
+        read_words += want as u64;
+    }
+    if prev.map(|p| p as u64) != Some(header.num_targets) {
+        return Err(invalid(format!(
+            "inconsistent CSR offsets: last entry does not equal target count {}",
+            header.num_targets
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::materialize_csr;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_spill(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "tc-compare-chunked-{}-{tag}-{seq}.csr",
+            std::process::id()
+        ))
+    }
+
+    fn sample_csr() -> Csr {
+        // 12 vertices with irregular degrees so lists straddle chunks.
+        let adj: Vec<Vec<u32>> = (0..12u32)
+            .map(|v| (0..12u32).filter(|&w| w != v && (v + w) % 3 != 0).collect())
+            .collect();
+        Csr::from_adjacency(&adj)
+    }
+
+    fn tiny_cache() -> ChunkCacheConfig {
+        ChunkCacheConfig {
+            chunk_words: 4,
+            max_resident: 2,
+            pinned_chunks: 1,
+        }
+    }
+
+    #[test]
+    fn spill_and_materialize_roundtrip() {
+        let csr = sample_csr();
+        let path = temp_spill("roundtrip");
+        let chunked = ChunkedCsr::spill_with(&csr, &path, tiny_cache()).unwrap();
+        assert_eq!(materialize_csr(&chunked), csr);
+        // A 4-word cache over a ~100-word file must have evicted.
+        assert!(chunked.cache_stats().evictions > 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn accessors_match_in_memory_csr() {
+        let csr = sample_csr();
+        let path = temp_spill("accessors");
+        let chunked = ChunkedCsr::spill_with(&csr, &path, tiny_cache()).unwrap();
+        assert_eq!(chunked.num_vertices(), csr.num_vertices());
+        assert_eq!(chunked.num_entries(), csr.num_entries());
+        for v in 0..csr.num_vertices() {
+            assert_eq!(chunked.degree(v), csr.degree(v), "degree({v})");
+            assert_eq!(chunked.offset(v), csr.offset(v), "offset({v})");
+            assert_eq!(chunked.neighbors(v), csr.neighbors(v), "neighbors({v})");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn repeated_access_hits_cache() {
+        let csr = sample_csr();
+        let path = temp_spill("hits");
+        let chunked = ChunkedCsr::spill_with(&csr, &path, ChunkCacheConfig::default()).unwrap();
+        chunked.neighbors(3);
+        let cold = chunked.cache_stats();
+        chunked.neighbors(3);
+        let warm = chunked.cache_stats();
+        assert_eq!(warm.misses, cold.misses, "second read must not fetch");
+        assert!(warm.hits > cold.hits);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pinned_offsets_chunk_survives_eviction_pressure() {
+        let csr = sample_csr();
+        let path = temp_spill("pinned");
+        let chunked = ChunkedCsr::spill_with(&csr, &path, tiny_cache()).unwrap();
+        // Touch everything twice; the pinned first offsets chunk must
+        // never be refetched after its initial miss.
+        for _ in 0..2 {
+            for v in 0..csr.num_vertices() {
+                chunked.neighbors(v);
+            }
+        }
+        let misses_after_warmup = chunked.cache_stats().misses;
+        for v in 0..3u32.min(csr.num_vertices()) {
+            chunked.degree(v);
+        }
+        let stats = chunked.cache_stats();
+        assert_eq!(
+            stats.misses, misses_after_warmup,
+            "pinned offsets prefix was evicted"
+        );
+        assert!(stats.evictions > 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn resident_budget_is_respected() {
+        let csr = sample_csr();
+        let path = temp_spill("budget");
+        let cfg = tiny_cache();
+        let chunked = ChunkedCsr::spill_with(&csr, &path, cfg).unwrap();
+        for v in 0..csr.num_vertices() {
+            chunked.neighbors(v);
+        }
+        // pinned prefix + at most max_resident unpinned.
+        assert!(chunked.cache_stats().resident <= cfg.pinned_chunks + cfg.max_resident);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_spill_rejected_at_open() {
+        let csr = sample_csr();
+        let path = temp_spill("truncated");
+        ChunkedCsr::spill(&csr, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let err = ChunkedCsr::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_at_open() {
+        let csr = sample_csr();
+        let path = temp_spill("trailing");
+        ChunkedCsr::spill(&csr, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ChunkedCsr::open(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_offsets_rejected_at_open() {
+        let csr = sample_csr();
+        let path = temp_spill("corrupt");
+        ChunkedCsr::spill(&csr, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Second offsets word (byte 24) made huge: offsets decrease after.
+        bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ChunkedCsr::open(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("inconsistent CSR offsets"),
+            "{err}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn orientation_over_chunked_matches_in_memory() {
+        let raw = crate::gen::barabasi_albert(300, 3, 0.4, 9);
+        let (g, _) = crate::clean::clean_edges(&raw);
+        let path = temp_spill("orient");
+        let chunked = ChunkedCsr::spill_with(&g.csr().clone(), &path, tiny_cache()).unwrap();
+        for o in [
+            crate::orient::Orientation::ById,
+            crate::orient::Orientation::DegreeAsc,
+            crate::orient::Orientation::DegreeDesc,
+            crate::orient::Orientation::KCore,
+            crate::orient::Orientation::Random(5),
+        ] {
+            let from_disk = crate::orient::orient_access(&chunked, o);
+            let from_mem = crate::orient::orient(&g, o);
+            assert_eq!(from_disk.csr(), from_mem.csr(), "{o:?}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stats_over_chunked_match_in_memory() {
+        let raw = crate::gen::barabasi_albert(200, 4, 0.3, 3);
+        let (g, _) = crate::clean::clean_edges(&raw);
+        let path = temp_spill("stats");
+        let chunked = ChunkedCsr::spill(g.csr(), &path).unwrap();
+        assert_eq!(
+            crate::stats::GraphStats::compute_access(&chunked),
+            crate::stats::GraphStats::compute(&g)
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_graph_spills_and_opens() {
+        let csr = Csr::from_adjacency(&[]);
+        let path = temp_spill("empty");
+        let chunked = ChunkedCsr::spill(&csr, &path).unwrap();
+        assert_eq!(chunked.num_vertices(), 0);
+        assert_eq!(chunked.num_entries(), 0);
+        assert_eq!(materialize_csr(&chunked), csr);
+        std::fs::remove_file(path).ok();
+    }
+}

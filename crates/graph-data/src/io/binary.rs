@@ -9,6 +9,14 @@ use crate::types::EdgeList;
 /// File magic for binary edge lists.
 pub const BINARY_MAGIC: &[u8; 8] = b"TCBEDGE1";
 
+/// Byte offset of the payload (magic + count header).
+const HEADER_BYTES: u64 = 16;
+
+/// Streaming slab size: payloads are read in bounded pieces so a header
+/// declaring more edges than the file holds fails with the truncation
+/// offset instead of driving one giant up-front allocation.
+const SLAB_BYTES: usize = 1 << 20;
+
 /// Write the binary format.
 pub fn write_binary_edges<W: Write>(mut w: W, edges: &EdgeList) -> io::Result<()> {
     w.write_all(BINARY_MAGIC)?;
@@ -21,37 +29,76 @@ pub fn write_binary_edges<W: Write>(mut w: W, edges: &EdgeList) -> io::Result<()
     w.write_all(&buf)
 }
 
-/// Read the binary format, validating magic and length.
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// `read_exact` that reports the absolute byte offset where the stream
+/// ran dry, instead of a positionless `UnexpectedEof`.
+pub(crate) fn read_full_at<R: Read>(r: &mut R, buf: &mut [u8], file_off: u64) -> io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 => {
+                return Err(invalid(format!(
+                    "truncated payload: expected {} more byte(s) at byte offset {}",
+                    buf.len() - filled,
+                    file_off + filled as u64,
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    Ok(())
+}
+
+/// Read the binary format, validating magic and length. Every length
+/// computation is checked: a header declaring an edge count whose payload
+/// size overflows, or exceeds what the stream actually holds, returns
+/// `InvalidData` with the byte offset — never a panic or a runaway
+/// allocation.
 pub fn read_binary_edges<R: Read>(mut r: R) -> io::Result<EdgeList> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a tc-compare binary edge list (bad magic)",
+        return Err(invalid(
+            "not a tc-compare binary edge list (bad magic)".to_string(),
         ));
     }
     let mut count_bytes = [0u8; 8];
-    r.read_exact(&mut count_bytes)?;
-    let count = u64::from_le_bytes(count_bytes) as usize;
-    let mut payload = vec![0u8; count * 8];
-    r.read_exact(&mut payload)?;
-    let mut trailer = [0u8; 1];
-    if r.read(&mut trailer)? != 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "trailing bytes after declared edge count",
-        ));
-    }
-    let edges = payload
-        .chunks_exact(8)
-        .map(|c| {
+    read_full_at(&mut r, &mut count_bytes, 8)?;
+    let count = u64::from_le_bytes(count_bytes);
+    let payload_bytes = count.checked_mul(8).ok_or_else(|| {
+        invalid(format!(
+            "declared edge count {count} overflows the payload size (header at byte offset 8)"
+        ))
+    })?;
+    let count_usize = usize::try_from(count).map_err(|_| {
+        invalid(format!(
+            "declared edge count {count} exceeds the address space (header at byte offset 8)"
+        ))
+    })?;
+
+    // Stream the payload in bounded slabs; capacity grows with the bytes
+    // actually present, so a hostile count cannot reserve it up front.
+    let mut edges = Vec::with_capacity(count_usize.min(SLAB_BYTES / 8));
+    let mut slab = vec![0u8; SLAB_BYTES.min(payload_bytes.max(1) as usize)];
+    let mut consumed = 0u64;
+    while consumed < payload_bytes {
+        let want = usize::try_from((payload_bytes - consumed).min(SLAB_BYTES as u64)).unwrap();
+        read_full_at(&mut r, &mut slab[..want], HEADER_BYTES + consumed)?;
+        edges.extend(slab[..want].chunks_exact(8).map(|c| {
             (
                 u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
                 u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
             )
-        })
-        .collect();
+        }));
+        consumed += want as u64;
+    }
+    let mut trailer = [0u8; 1];
+    if r.read(&mut trailer)? != 0 {
+        return Err(invalid("trailing bytes after declared edge count".into()));
+    }
     Ok(EdgeList::new(edges))
 }
 
@@ -82,12 +129,50 @@ mod tests {
     }
 
     #[test]
-    fn truncated_payload_rejected() {
+    fn truncated_payload_rejected_with_offset() {
         let e = EdgeList::new(vec![(1, 2), (3, 4)]);
         let mut bytes = Vec::new();
         write_binary_edges(&mut bytes, &e).unwrap();
         bytes.truncate(bytes.len() - 3);
-        assert!(read_binary_edges(&bytes[..]).is_err());
+        let err = read_binary_edges(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Two edges = 16 payload bytes; 3 were cut, so the stream dries
+        // up at absolute offset 16 (header) + 13.
+        assert!(err.to_string().contains("byte offset 29"), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let mut bytes = BINARY_MAGIC.to_vec();
+        bytes.extend_from_slice(&[1, 0, 0]); // count cut short
+        let err = read_binary_edges(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("byte offset"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_declared_count_rejected() {
+        // count * 8 overflows u64: must be a structured error, not a
+        // panic or an absurd allocation.
+        let mut bytes = BINARY_MAGIC.to_vec();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        let err = read_binary_edges(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn count_exceeding_stream_length_rejected_without_huge_alloc() {
+        // Declares 2^40 edges but holds eight bytes of payload: the
+        // reader must fail at the truncation point, having allocated at
+        // most one slab.
+        let mut bytes = BINARY_MAGIC.to_vec();
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        let err = read_binary_edges(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("byte offset 24"), "{err}");
     }
 
     #[test]

@@ -13,14 +13,26 @@ use crate::types::EdgeList;
 pub const MM_MAGIC: &[u8] = b"%%MatrixMarket";
 
 /// Parse a coordinate-format MatrixMarket graph.
+///
+/// Tolerated per the spec and the corpora in the wild: extra whitespace
+/// between banner tokens, blank lines and `%` comments anywhere after
+/// the banner (including inside the entry block), and values on
+/// weighted entries. Rejected with a line number: zero indices, indices
+/// beyond the declared dimensions (an index *equal* to the dimension is
+/// the last valid 1-indexed row/column), and entry-count mismatches.
 pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<EdgeList> {
     let mut reader = BufReader::new(reader);
     let mut line = String::new();
 
-    // Header line.
+    // Banner line: `%%MatrixMarket matrix coordinate ...`, with any
+    // amount of whitespace between the tokens.
     reader.read_line(&mut line)?;
     let header = line.trim().to_ascii_lowercase();
-    if !header.starts_with("%%matrixmarket matrix coordinate") {
+    let mut banner = header.split_whitespace();
+    if banner.next() != Some("%%matrixmarket")
+        || banner.next() != Some("matrix")
+        || banner.next() != Some("coordinate")
+    {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported MatrixMarket header: {}", line.trim()),
@@ -28,6 +40,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<EdgeList> {
     }
 
     // Skip comments; then the size line.
+    let (mut rows, mut cols) = (0u64, 0u64);
     let (mut declared_entries, mut read_size) = (0usize, false);
     let mut edges = Vec::new();
     let mut line_no = 1usize;
@@ -44,11 +57,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<EdgeList> {
         let mut it = t.split_whitespace();
         if !read_size {
             // rows cols entries
-            let _rows: u64 = parse(it.next(), line_no, t)?;
-            let _cols: u64 = parse(it.next(), line_no, t)?;
+            rows = parse(it.next(), line_no, t)?;
+            cols = parse(it.next(), line_no, t)?;
             declared_entries = parse(it.next(), line_no, t)? as usize;
             read_size = true;
-            edges.reserve(declared_entries);
             continue;
         }
         let i: u64 = parse(it.next(), line_no, t)?;
@@ -59,7 +71,18 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<EdgeList> {
                 format!("MatrixMarket is 1-indexed; got a zero index on line {line_no}"),
             ));
         }
-        edges.push(((i - 1) as u32, (j - 1) as u32));
+        if i > rows || j > cols {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "entry ({i}, {j}) on line {line_no} exceeds the declared \
+                     {rows}x{cols} dimensions"
+                ),
+            ));
+        }
+        let u = u32::try_from(i - 1).map_err(|_| index_overflow(i, line_no))?;
+        let v = u32::try_from(j - 1).map_err(|_| index_overflow(j, line_no))?;
+        edges.push((u, v));
     }
     if read_size && edges.len() != declared_entries {
         return Err(io::Error::new(
@@ -80,6 +103,13 @@ fn parse(tok: Option<&str>, line_no: usize, line: &str) -> io::Result<u64> {
             format!("malformed MatrixMarket line {line_no}: {line:?}"),
         )
     })
+}
+
+fn index_overflow(idx: u64, line_no: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("index {idx} on line {line_no} exceeds the u32 vertex-id space"),
+    )
 }
 
 /// Write a pattern-only general coordinate MatrixMarket file.
@@ -118,6 +148,63 @@ mod tests {
                     1 2 3.25\n";
         let e = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(e.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn tolerates_extra_whitespace_in_banner() {
+        let text = "%%MatrixMarket   matrix \t coordinate  pattern   general\n\
+                    2 2 1\n\
+                    1 2\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(e.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn tolerates_blank_lines_and_comments_inside_entry_block() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    3 3 2\n\
+                    1 2\n\
+                    \n\
+                    % mid-block comment\n\
+                    \t \n\
+                    2 3\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(e.edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn accepts_entry_equal_to_declared_dimension() {
+        // 1-indexed: row/col == dimension is the last valid entry.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    4 4 1\n\
+                    4 4\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(e.edges, vec![(3, 3)]);
+    }
+
+    #[test]
+    fn rejects_entry_beyond_declared_dimension() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    4 4 1\n\
+                    5 1\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    4 4 1\n\
+                    1 5\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_index_beyond_u32_space() {
+        let big = (u32::MAX as u64) + 2;
+        let text = format!(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             {big} {big} 1\n\
+             {big} 1\n"
+        );
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("u32 vertex-id space"), "{err}");
     }
 
     #[test]

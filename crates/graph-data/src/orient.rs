@@ -13,7 +13,7 @@
 //!   implementations (TriCore, TRUST, GroupTC) preprocess with.
 //! * **DegreeDesc** — the reverse ordering, kept for ablations.
 
-use crate::types::{Csr, UndirGraph, VertexId};
+use crate::types::{materialize_csr, Csr, CsrAccess, UndirGraph, VertexId};
 
 /// Vertex-ordering rule used to build the DAG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -97,6 +97,24 @@ impl DagGraph {
 
 /// Orient a cleaned undirected graph into a DAG under the given rule.
 pub fn orient(g: &UndirGraph, orientation: Orientation) -> DagGraph {
+    match orientation {
+        // KCore peels the resident graph directly; the generic path
+        // below would materialize a second copy first.
+        Orientation::KCore => orient_with_order(
+            g.csr(),
+            crate::kcore::core_decomposition(g).order,
+            orientation,
+        ),
+        _ => orient_access(g.csr(), orientation),
+    }
+}
+
+/// [`orient`] over any [`CsrAccess`] — the entry point for out-of-core
+/// graphs ([`crate::chunked::ChunkedCsr`]), which stream through the
+/// same ordering and DAG construction as resident ones. `KCore` is the
+/// one rule that needs the whole graph resident (degeneracy peeling
+/// mutates degrees globally), so it materializes a temporary copy.
+pub fn orient_access<A: CsrAccess + ?Sized>(g: &A, orientation: Orientation) -> DagGraph {
     let n = g.num_vertices() as usize;
     // rank[old] = new id.
     let order: Vec<VertexId> = match orientation {
@@ -111,7 +129,10 @@ pub fn orient(g: &UndirGraph, orientation: Orientation) -> DagGraph {
             order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
             order
         }
-        Orientation::KCore => crate::kcore::core_decomposition(g).order,
+        Orientation::KCore => {
+            let und = UndirGraph::from_csr(materialize_csr(g));
+            crate::kcore::core_decomposition(&und).order
+        }
         Orientation::Random(seed) => {
             // Fisher–Yates with a splitmix-style generator (no rand
             // dependency needed for a baseline shuffle).
@@ -131,6 +152,15 @@ pub fn orient(g: &UndirGraph, orientation: Orientation) -> DagGraph {
             order
         }
     };
+    orient_with_order(g, order, orientation)
+}
+
+fn orient_with_order<A: CsrAccess + ?Sized>(
+    g: &A,
+    order: Vec<VertexId>,
+    orientation: Orientation,
+) -> DagGraph {
+    let n = g.num_vertices() as usize;
     let (rank, new_to_old) = {
         let mut rank = vec![0u32; n];
         for (new_id, &old) in order.iter().enumerate() {
@@ -142,12 +172,12 @@ pub fn orient(g: &UndirGraph, orientation: Orientation) -> DagGraph {
     let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     for old_u in 0..n as u32 {
         let nu = rank[old_u as usize];
-        for &old_v in g.neighbors(old_u) {
+        g.for_each_neighbor(old_u, &mut |old_v| {
             let nv = rank[old_v as usize];
             if nu < nv {
                 adj[nu as usize].push(nv);
             }
-        }
+        });
     }
     for list in &mut adj {
         list.sort_unstable();

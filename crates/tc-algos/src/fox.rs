@@ -107,10 +107,11 @@ impl TcAlgorithm for Fox {
         mem: &mut DeviceMem,
         g: &DeviceGraph,
     ) -> Result<TcOutput, SimError> {
-        // Host prepass: bin the edges by estimated workload under the
-        // chosen strategy.
+        // Host prepass: bin this device's edge range by estimated
+        // workload under the chosen strategy. The bins carry global edge
+        // ids, so the kernel itself is partition-agnostic.
         let mut bins: [Vec<u32>; NUM_BINS] = Default::default();
-        for e in 0..g.num_edges {
+        for e in g.edge_lo..g.edge_hi {
             let du = g.host_out_degree(g.host_src[e as usize]);
             let dv = g.host_out_degree(g.host_dst[e as usize]);
             let work = match self.strategy {

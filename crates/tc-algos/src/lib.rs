@@ -33,6 +33,7 @@ pub mod fox;
 pub mod green;
 pub mod hindex;
 pub mod hu;
+pub mod partition;
 pub mod polak;
 pub mod registry;
 pub mod tricore;
@@ -45,4 +46,5 @@ pub mod testutil;
 
 pub use api::{AlgoMeta, Granularity, Intersection, IteratorKind, TcAlgorithm, TcOutput};
 pub use device_graph::DeviceGraph;
+pub use partition::PartitionPlan;
 pub use registry::published_algorithms;

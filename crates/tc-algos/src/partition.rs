@@ -1,0 +1,235 @@
+//! 2-D work partitioning for multi-device runs, after TRUST's
+//! partitioned layout (Pandey et al., TPDS 2021): the oriented edge list
+//! is split into per-device tiles along a contiguous, degree-balanced
+//! vertex cut. Device `d` owns pivot vertices `[b[d], b[d+1])` and —
+//! because the edge arrays are in CSR order — the contiguous edge range
+//! `[offsets[b[d]], offsets[b[d+1]])`. Every oriented triangle is rooted
+//! at exactly one pivot (vertex iterators) or base edge (edge
+//! iterators), so per-device counts sum to the single-device total
+//! exactly, for every algorithm.
+//!
+//! The 2-D structure shows up in the traffic model: each device's probes
+//! into adjacency lists homed on *other* tiles form a (owner, home) tile
+//! matrix; [`PartitionPlan::remote_bytes_by_tile`] prices each off-
+//! diagonal tile as one (offset, degree) descriptor plus the list words
+//! per distinct remote destination.
+
+/// A contiguous degree-balanced vertex partition of an oriented DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// `num_devices + 1` vertex boundaries: device `d` owns the pivot
+    /// vertices `[boundaries[d], boundaries[d + 1])`. Always starts at
+    /// 0 and ends at `num_vertices`.
+    pub boundaries: Vec<u32>,
+}
+
+impl PartitionPlan {
+    /// Cut the vertex space into `num_devices` contiguous spans with
+    /// near-equal *edge* (out-degree prefix) weight: boundary `d` is the
+    /// first vertex whose prefix degree reaches `d/num_devices` of the
+    /// total. Devices at the tail may own empty spans on tiny graphs.
+    pub fn balanced(offsets: &[u32], num_devices: u32) -> PartitionPlan {
+        assert!(num_devices >= 1, "need at least one device");
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        let nv = (offsets.len() - 1) as u32;
+        let total = *offsets.last().unwrap() as u64;
+        let n = num_devices as u64;
+        let mut boundaries = Vec::with_capacity(num_devices as usize + 1);
+        boundaries.push(0);
+        let mut v = 0u32;
+        for d in 1..num_devices as u64 {
+            // Smallest vertex whose edge prefix covers share d/n.
+            let target = total * d / n;
+            while v < nv && (offsets[v as usize] as u64) < target {
+                v += 1;
+            }
+            boundaries.push(v);
+        }
+        boundaries.push(nv);
+        PartitionPlan { boundaries }
+    }
+
+    pub fn num_devices(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Pivot-vertex span owned by device `d`.
+    pub fn pivot_range(&self, d: usize) -> (u32, u32) {
+        (self.boundaries[d], self.boundaries[d + 1])
+    }
+
+    /// Edge span owned by device `d` under `offsets`.
+    pub fn edge_range(&self, offsets: &[u32], d: usize) -> (u32, u32) {
+        let (lo, hi) = self.pivot_range(d);
+        (offsets[lo as usize], offsets[hi as usize])
+    }
+
+    /// Which device owns vertex `v`.
+    pub fn owner_of(&self, v: u32) -> usize {
+        // boundaries is sorted; find the last boundary <= v.
+        match self.boundaries.binary_search(&v) {
+            // v may equal several identical boundaries (empty spans);
+            // ownership goes to the first non-empty span starting at v.
+            Ok(mut i) => {
+                while i + 1 < self.boundaries.len() && self.boundaries[i + 1] == v {
+                    i += 1;
+                }
+                i.min(self.num_devices() - 1)
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Interconnect traffic of device `d`, by *home tile*: entry `j` is
+    /// the bytes device `d` must pull from device `j`'s slice of the
+    /// adjacency data — for every **distinct** remote destination `v` of
+    /// an owned edge, one 8-byte (offset, degree) descriptor plus
+    /// `4 * out_degree(v)` list bytes. Entry `d` is always 0 (local
+    /// reads are priced by the kernel's own memory model).
+    pub fn remote_bytes_by_tile(&self, offsets: &[u32], dst: &[u32], d: usize) -> Vec<u64> {
+        let mut by_tile = vec![0u64; self.num_devices()];
+        let (e_lo, e_hi) = self.edge_range(offsets, d);
+        let mut seen = std::collections::HashSet::new();
+        for &v in &dst[e_lo as usize..e_hi as usize] {
+            let home = self.owner_of(v);
+            if home == d || !seen.insert(v) {
+                continue;
+            }
+            let deg = (offsets[v as usize + 1] - offsets[v as usize]) as u64;
+            by_tile[home] += 8 + 4 * deg;
+        }
+        by_tile
+    }
+
+    /// Total interconnect bytes device `d` pulls from all remote tiles.
+    pub fn remote_bytes(&self, offsets: &[u32], dst: &[u32], d: usize) -> u64 {
+        self.remote_bytes_by_tile(offsets, dst, d).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_data::{clean_edges, gen, orient, Orientation};
+
+    fn fixture_offsets() -> (Vec<u32>, Vec<u32>) {
+        let raw = gen::barabasi_albert(300, 5, 0.3, 11);
+        let (g, _) = clean_edges(&raw);
+        let dag = orient(&g, Orientation::DegreeAsc);
+        let (_, dst) = dag.edge_arrays();
+        (dag.csr().offsets().to_vec(), dst)
+    }
+
+    #[test]
+    fn balanced_boundaries_are_monotone_and_cover() {
+        let (offsets, _) = fixture_offsets();
+        for n in [1u32, 2, 3, 4, 8] {
+            let plan = PartitionPlan::balanced(&offsets, n);
+            assert_eq!(plan.num_devices(), n as usize);
+            assert_eq!(plan.boundaries[0], 0);
+            assert_eq!(*plan.boundaries.last().unwrap() as usize, offsets.len() - 1);
+            assert!(plan.boundaries.windows(2).all(|w| w[0] <= w[1]));
+            // Edge spans partition the edge list.
+            let mut covered = 0u32;
+            for d in 0..plan.num_devices() {
+                let (lo, hi) = plan.edge_range(&offsets, d);
+                assert_eq!(lo, covered);
+                covered = hi;
+            }
+            assert_eq!(covered, *offsets.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn single_device_plan_is_the_full_range() {
+        let (offsets, _) = fixture_offsets();
+        let plan = PartitionPlan::balanced(&offsets, 1);
+        assert_eq!(plan.boundaries, vec![0, (offsets.len() - 1) as u32]);
+        assert_eq!(plan.edge_range(&offsets, 0), (0, *offsets.last().unwrap()));
+    }
+
+    #[test]
+    fn balanced_cut_is_roughly_even_by_edges() {
+        let (offsets, _) = fixture_offsets();
+        let total = *offsets.last().unwrap() as u64;
+        let plan = PartitionPlan::balanced(&offsets, 4);
+        let max_deg = offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u64)
+            .max()
+            .unwrap();
+        for d in 0..4 {
+            let (lo, hi) = plan.edge_range(&offsets, d);
+            // Each span is within one max-degree of the ideal share.
+            assert!(
+                ((hi - lo) as u64) <= total / 4 + max_deg,
+                "device {d} owns {} of {total} edges",
+                hi - lo
+            );
+        }
+    }
+
+    #[test]
+    fn owner_of_matches_pivot_ranges() {
+        let (offsets, _) = fixture_offsets();
+        let plan = PartitionPlan::balanced(&offsets, 4);
+        for d in 0..plan.num_devices() {
+            let (lo, hi) = plan.pivot_range(d);
+            for v in lo..hi {
+                assert_eq!(plan.owner_of(v), d, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn remote_bytes_diagonal_is_zero_and_prices_descriptors() {
+        let (offsets, dst) = fixture_offsets();
+        let plan = PartitionPlan::balanced(&offsets, 4);
+        for d in 0..4 {
+            let by_tile = plan.remote_bytes_by_tile(&offsets, &dst, d);
+            assert_eq!(by_tile.len(), 4);
+            assert_eq!(by_tile[d], 0, "local reads are free on the link");
+            assert_eq!(
+                by_tile.iter().sum::<u64>(),
+                plan.remote_bytes(&offsets, &dst, d)
+            );
+        }
+        // One device owning everything needs no interconnect at all.
+        let solo = PartitionPlan::balanced(&offsets, 1);
+        assert_eq!(solo.remote_bytes(&offsets, &dst, 0), 0);
+    }
+
+    #[test]
+    fn remote_bytes_count_distinct_destinations_once() {
+        // Path 0->1, 0->2, plus a duplicate probe target via 3->2: with
+        // a cut {0,1} | {2,3}, device 0 touches remote vertex 1? No —
+        // hand-build: edges 0->2 twice is impossible (simple graph), so
+        // use two edges sharing a destination: 0->2 and 1->2.
+        let offsets = vec![0u32, 1, 2, 2, 2];
+        let dst = vec![2u32, 2];
+        let plan = PartitionPlan {
+            boundaries: vec![0, 2, 4],
+        };
+        // Device 0 owns both edges; their shared destination 2 is remote
+        // (degree 0) and must be priced exactly once: 8 + 0 bytes.
+        assert_eq!(plan.remote_bytes(&offsets, &dst, 0), 8);
+        assert_eq!(plan.remote_bytes(&offsets, &dst, 1), 0);
+    }
+
+    #[test]
+    fn more_devices_never_decrease_total_traffic() {
+        let (offsets, dst) = fixture_offsets();
+        let mut prev = 0u64;
+        for n in [1u32, 2, 4, 8] {
+            let plan = PartitionPlan::balanced(&offsets, n);
+            let total: u64 = (0..plan.num_devices())
+                .map(|d| plan.remote_bytes(&offsets, &dst, d))
+                .sum();
+            assert!(
+                total >= prev,
+                "splitting finer should not reduce interconnect traffic"
+            );
+            prev = total;
+        }
+    }
+}

@@ -69,10 +69,11 @@ impl TcAlgorithm for Trust {
         mem: &mut DeviceMem,
         g: &DeviceGraph,
     ) -> Result<TcOutput, SimError> {
-        // Host-side classification (launch planning).
+        // Host-side classification (launch planning), over this device's
+        // pivot range only.
         let mut high = Vec::new();
         let mut low = Vec::new();
-        for v in 0..g.num_vertices {
+        for v in g.pivot_lo..g.pivot_hi {
             let d = g.host_out_degree(v);
             if d > BLOCK_DEGREE {
                 high.push(v);

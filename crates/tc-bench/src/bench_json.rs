@@ -722,6 +722,7 @@ mod tests {
             dataset: "tiny-rmat",
             backend: "sim",
             outcome: RunOutcome::Failed(gpu_sim::SimError::KernelFault("x".into())),
+            partition: None,
             wall: Duration::from_millis(2),
         }];
         BenchCell::merge_min_wall(&mut cells, &rep);

@@ -10,7 +10,8 @@
 //! ```sh
 //! cargo run --release -p tc-bench --bin bench_sweep -- \
 //!     [dataset-name... | --small | --medium] [--serial] [--reps N] \
-//!     [--backend sim|cpu|both] [--bench-json PATH] [--check-baseline PATH]
+//!     [--backend sim|cpu|both] [--devices N] \
+//!     [--bench-json PATH] [--check-baseline PATH]
 //! ```
 //!
 //! `--backend` selects the execution substrate: `sim` (default) runs the
@@ -19,6 +20,12 @@
 //! and `both` sweeps the two back to back for a differential wall-clock
 //! comparison. Mixed-backend JSON output tags every record with its
 //! backend; pure-sim output keeps the historical schema.
+//!
+//! `--devices N` (default 1) runs the sim backend partitioned over N
+//! simulated devices (see `tc_core::framework::partitioned`); cycle
+//! figures are then per-cell makespans. At the default `--devices 1`
+//! every code path, record and output byte is identical to builds
+//! without the flag.
 //!
 //! `--bench-json` writes the machine-readable trajectory file (see
 //! `tc_bench::bench_json`); committing it as `BENCH_sim.json` records the
@@ -37,6 +44,7 @@ use tc_bench::{datasets_from_args, eprint_progress};
 use tc_core::framework::backend::{
     run_matrix_backends, run_matrix_backends_parallel, Backend, CpuBackend, SimBackend,
 };
+use tc_core::framework::partitioned::PartitionedSimBackend;
 use tc_core::framework::registry::all_algorithms;
 use tc_core::framework::runner::RunRecord;
 
@@ -44,6 +52,7 @@ fn main() -> Result<(), String> {
     let mut reps: u32 = 3;
     let mut serial = false;
     let mut backend_arg = "sim".to_string();
+    let mut devices: u32 = 1;
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut dataset_args: Vec<String> = Vec::new();
@@ -54,6 +63,16 @@ fn main() -> Result<(), String> {
             "--serial" => serial = true,
             "--backend" => {
                 backend_arg = args.next().ok_or("--backend needs sim|cpu|both")?;
+            }
+            "--devices" => {
+                devices = args
+                    .next()
+                    .ok_or("--devices needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?;
+                if devices == 0 {
+                    return Err("--devices must be at least 1".to_string());
+                }
             }
             "--reps" => {
                 reps = args
@@ -81,10 +100,17 @@ fn main() -> Result<(), String> {
     let algos = all_algorithms();
     let dev = Device::v100();
     let sim = SimBackend { dev: &dev };
+    let part = PartitionedSimBackend {
+        dev: &dev,
+        num_devices: devices,
+    };
+    // `--devices 1` stays on the plain sim backend so its records and
+    // JSON are byte-identical to builds without the flag.
+    let sim_backend: &dyn Backend = if devices > 1 { &part } else { &sim };
     let backends: Vec<&dyn Backend> = match backend_arg.as_str() {
-        "sim" => vec![&sim],
+        "sim" => vec![sim_backend],
         "cpu" => vec![&CpuBackend],
-        "both" => vec![&sim, &CpuBackend],
+        "both" => vec![sim_backend, &CpuBackend],
         other => return Err(format!("--backend must be sim|cpu|both, got `{other}`")),
     };
     let mode = if serial { "serial" } else { "parallel" };

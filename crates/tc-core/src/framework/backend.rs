@@ -100,6 +100,7 @@ pub fn run_on_dataset_cpu(algo: &dyn TcAlgorithm, data: &PreparedDataset) -> Run
         dataset: data.spec.name,
         backend: "cpu",
         outcome,
+        partition: None,
         wall: started.elapsed(),
     }
 }

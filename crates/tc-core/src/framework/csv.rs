@@ -157,6 +157,7 @@ mod tests {
                     },
                     verified: true,
                 },
+                partition: None,
                 wall: std::time::Duration::from_millis(12),
             },
             RunRecord {
@@ -166,6 +167,7 @@ mod tests {
                 outcome: RunOutcome::Failed(gpu_sim::SimError::KernelFault(
                     "overflow, with comma".into(),
                 )),
+                partition: None,
                 wall: std::time::Duration::from_millis(3),
             },
         ]

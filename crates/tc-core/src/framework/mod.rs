@@ -5,6 +5,7 @@ pub mod backend;
 pub mod claims;
 pub mod conformance;
 pub mod csv;
+pub mod partitioned;
 pub mod registry;
 pub mod report;
 pub mod runner;

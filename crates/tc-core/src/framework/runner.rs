@@ -111,6 +111,10 @@ pub struct RunRecord {
     /// `"sim"` and their CSV emission is unchanged by this field.
     pub backend: &'static str,
     pub outcome: RunOutcome,
+    /// Multi-device aggregate when the cell ran partitioned (see
+    /// [`crate::framework::partitioned`]); `None` for every
+    /// single-device cell, leaving CSV emission untouched.
+    pub partition: Option<crate::framework::partitioned::PartitionStats>,
     /// Host wall-clock time spent simulating this cell (upload, kernels
     /// and verification). Unlike `outcome` this is measured, not
     /// modelled: it varies run to run and is deliberately excluded from
@@ -180,6 +184,7 @@ pub fn run_on_dataset(dev: &Device, algo: &dyn TcAlgorithm, data: &PreparedDatas
         dataset,
         backend: "sim",
         outcome,
+        partition: None,
         wall: started.elapsed(),
     }
 }
